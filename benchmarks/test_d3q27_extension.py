@@ -1,0 +1,114 @@
+"""E10 — Section 5 future work: single-speed D3Q27.
+
+The paper motivates D3Q27 because "their increased runtime is often cited
+as a reason for not using them": the moment space stays at M = 10, so the
+MR footprint/traffic advantage grows from 47% (Q19) to 63% (Q27). We also
+exercise the occupancy consequence: the Q27 column kernel no longer fits
+two blocks per CU in the MI100's 64 KB LDS.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.bench import render_table
+from repro.gpu import MI100, V100, KernelProblem, MemoryTracker, MRKernel, STKernel
+from repro.lattice import get_lattice
+from repro.perf import (
+    PerformanceModel,
+    bytes_per_flup,
+    memory_reduction,
+    mr_launch_config,
+)
+from repro.gpu.launch import occupancy
+
+
+def _measure_q27():
+    """Measure D3Q27 kernel traffic on a reduced periodic box."""
+    lat = get_lattice("D3Q27")
+    shape = (16, 48, 48)
+    rng = np.random.default_rng(0)
+    rho0 = 1 + 0.02 * rng.standard_normal(shape)
+    u0 = 0.02 * rng.standard_normal((3, *shape))
+    prob = KernelProblem(lat, shape, 0.8, mode="periodic")
+    out = {}
+    for name, ctor in (
+        ("ST", lambda tr: STKernel(prob, V100, tracker=tr, rho0=rho0, u0=u0)),
+        ("MR", lambda tr: MRKernel(prob, V100, scheme="MR-P",
+                                   tile_cross=(8, 8), tracker=tr,
+                                   rho0=rho0, u0=u0)),
+    ):
+        tr = MemoryTracker(l2_bytes=int(V100.l2_kb * 1024))
+        k = ctor(tr)
+        k.step()
+        stats = k.step()
+        out[name] = stats.traffic.sector_bytes_total / stats.n_nodes
+    return out
+
+
+def test_d3q27_traffic_and_speedup(benchmark, write_result):
+    traffic = run_once(benchmark, _measure_q27)
+    lat = get_lattice("D3Q27")
+
+    # Ideal B/F: 432 (ST) vs 160 (MR) — a 63% reduction.
+    assert bytes_per_flup(lat, "ST") == 432
+    assert bytes_per_flup(lat, "MR") == 160
+    assert memory_reduction(lat) == pytest.approx(1 - 10 / 27, abs=1e-6)
+    assert traffic["ST"] == pytest.approx(432, rel=0.03)
+    assert traffic["MR"] == pytest.approx(160, rel=0.02)
+
+    # Projected speedups with the calibrated model (3D efficiencies). The
+    # occupancy term makes tile choice device-dependent: the 8x8 column
+    # kernel fits 2 blocks/SM on the V100 but only 1 per CU on the MI100's
+    # 64 KB LDS, where an 8x4 tile must be used instead — exactly the
+    # "emerging GPU architectures feature significantly larger cache
+    # sizes" motivation of Section 5.
+    rows = []
+    for dev, tile in ((V100, (8, 8)), (MI100, (8, 4))):
+        pm = PerformanceModel(dev)
+        st = pm.predict_shape(lat, "ST", (256, 256, 256),
+                              bytes_per_node=traffic["ST"])
+        mrp = pm.predict_shape(lat, "MR-P", (256, 256, 256),
+                               tile_cross=tile,
+                               bytes_per_node=traffic["MR"])
+        rows.append([dev.name, str(tile), f"{st.mflups:,.0f}",
+                     f"{mrp.mflups:,.0f}", f"{mrp.mflups / st.mflups:.2f}x"])
+        assert mrp.occupancy.meets_two_block_rule, dev.name
+        assert mrp.mflups / st.mflups > 1.25, dev.name
+
+    # With the naive 8x8 tile, the MI100 occupancy cliff actually makes
+    # MR-P *lose* to ST — the predicted reason Q27 needed future work.
+    pm = PerformanceModel(MI100)
+    st = pm.predict_shape(lat, "ST", (256, 256, 256),
+                          bytes_per_node=traffic["ST"])
+    naive = pm.predict_shape(lat, "MR-P", (256, 256, 256),
+                             tile_cross=(8, 8),
+                             bytes_per_node=traffic["MR"])
+    assert naive.occupancy.blocks_per_sm == 1
+    assert naive.mflups < st.mflups
+    rows.append(["MI100", "(8, 8) naive", f"{st.mflups:,.0f}",
+                 f"{naive.mflups:,.0f}", f"{naive.mflups / st.mflups:.2f}x"])
+
+    write_result("d3q27_extension.txt", render_table(
+        ["device", "tile", "ST MFLUPS", "MR-P MFLUPS", "speedup"], rows,
+        "D3Q27 extension (Section 5 future work)"))
+
+
+def test_d3q27_occupancy_cliff(benchmark):
+    """Q27 shared-memory appetite: 2 blocks/SM on V100, 1 on MI100."""
+    lat = get_lattice("D3Q27")
+
+    def compute():
+        cfg = mr_launch_config(lat, (256, 256, 256), (8, 8))
+        return occupancy(V100, cfg), occupancy(MI100, cfg), cfg
+
+    occ_v, occ_a, cfg = run_once(benchmark, compute)
+    assert cfg.shared_bytes_per_block == 8 * 8 * 3 * 27 * 8
+    assert occ_v.blocks_per_sm == 2
+    assert occ_a.blocks_per_sm == 1
+    assert not occ_a.meets_two_block_rule
+
+    # The model folds the cliff into a utilization penalty on MI100.
+    pm = PerformanceModel(MI100)
+    pred = pm.predict_shape(lat, "MR-P", (256, 256, 256), tile_cross=(8, 8))
+    assert pred.occupancy.blocks_per_sm == 1

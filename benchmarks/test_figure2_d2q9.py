@@ -1,0 +1,49 @@
+"""E5 — regenerate paper Figure 2 (D2Q9 MFLUPS vs problem size).
+
+Reproduction bands: rising-then-flat series; at saturation MR-P beats ST
+by ~1.32x (V100) / ~1.38x (MI100); MR-R is within a few percent of MR-P in
+2D on both devices; every series stays below its roofline.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import figure2_d2q9, render_figure_text
+
+PAPER_PLATEAU = {
+    ("V100", "ST"): 5300, ("V100", "MR-P"): 7000,
+    ("MI100", "ST"): 6200, ("MI100", "MR-P"): 8600,
+}
+
+
+def test_figure2_d2q9(benchmark, write_result):
+    from repro.bench import figure_to_csv, figure_to_svg
+
+    panels = run_once(benchmark, figure2_d2q9)
+    write_result("figure2_d2q9.txt", render_figure_text(panels))
+    write_result("figure2_d2q9.csv", figure_to_csv(panels))
+    write_result("figure2_d2q9.svg",
+                 figure_to_svg(panels, "Figure 2 - D2Q9 performance"))
+
+    for panel in panels:
+        for scheme, series in panel.series.items():
+            # Rising to a plateau: last point >= every earlier point (2%).
+            assert series[-1] >= max(series) * 0.98
+            # Below the matching roofline.
+            roof = panel.rooflines["ST" if scheme == "ST" else "MR"]
+            assert max(series) <= roof
+
+        st = panel.series["ST"][-1]
+        mrp = panel.series["MR-P"][-1]
+        mrr = panel.series["MR-R"][-1]
+        assert mrp == pytest.approx(PAPER_PLATEAU[(panel.device, "MR-P")],
+                                    rel=0.10)
+        assert st == pytest.approx(PAPER_PLATEAU[(panel.device, "ST")],
+                                   rel=0.10)
+        # MR-P wins clearly; MR-R ~ MR-P in 2D (Section 4.2).
+        assert 1.2 < mrp / st < 1.55
+        assert mrr == pytest.approx(mrp, rel=0.05)
+
+    # Small problems underutilize the device (left end of the figure).
+    for panel in panels:
+        assert panel.series["MR-P"][0] < 0.75 * panel.series["MR-P"][-1]

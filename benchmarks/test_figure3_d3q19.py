@@ -1,0 +1,55 @@
+"""E6 — regenerate paper Figure 3 (D3Q19 MFLUPS vs problem size).
+
+Reproduction bands: MR-P beats ST by ~1.46x on the V100 but only ~1.14x
+on the MI100; the V100 beats the MI100 for MR-P despite lower peak
+bandwidth (the paper's headline cross-vendor result); MR-R loses ~800/~700
+MFLUPS to the extra arithmetic.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import figure3_d3q19, render_figure_text
+
+PAPER_PLATEAU = {
+    ("V100", "ST"): 2600, ("V100", "MR-P"): 3800, ("V100", "MR-R"): 3000,
+    ("MI100", "ST"): 2800, ("MI100", "MR-P"): 3200, ("MI100", "MR-R"): 2500,
+}
+
+
+def test_figure3_d3q19(benchmark, write_result):
+    from repro.bench import figure_to_csv, figure_to_svg
+
+    panels = run_once(benchmark, figure3_d3q19)
+    write_result("figure3_d3q19.txt", render_figure_text(panels))
+    write_result("figure3_d3q19.csv", figure_to_csv(panels))
+    write_result("figure3_d3q19.svg",
+                 figure_to_svg(panels, "Figure 3 - D3Q19 performance"))
+
+    plateau = {}
+    for panel in panels:
+        for scheme, series in panel.series.items():
+            assert series[-1] >= max(series) * 0.98
+            roof = panel.rooflines["ST" if scheme == "ST" else "MR"]
+            assert max(series) <= roof
+            plateau[(panel.device, scheme)] = series[-1]
+            assert series[-1] == pytest.approx(
+                PAPER_PLATEAU[(panel.device, scheme)], rel=0.10
+            )
+
+    # Speedups: strong on V100, modest on MI100 (Section 5).
+    v_speedup = plateau[("V100", "MR-P")] / plateau[("V100", "ST")]
+    a_speedup = plateau[("MI100", "MR-P")] / plateau[("MI100", "ST")]
+    assert 1.3 < v_speedup < 1.6
+    assert 1.05 < a_speedup < 1.25
+
+    # Cross-vendor anomaly: V100 beats MI100 for MR-P with D3Q19.
+    assert plateau[("V100", "MR-P")] > plateau[("MI100", "MR-P")]
+    # ...but not for ST.
+    assert plateau[("MI100", "ST")] > plateau[("V100", "ST")]
+
+    # MR-R penalties ~800 (V100) / ~700 (MI100) MFLUPS.
+    assert (plateau[("V100", "MR-P")] - plateau[("V100", "MR-R")]
+            == pytest.approx(800, abs=200))
+    assert (plateau[("MI100", "MR-P")] - plateau[("MI100", "MR-R")]
+            == pytest.approx(700, abs=200))

@@ -1,0 +1,33 @@
+"""E8 — Section 5 headline speedups of MR-P over ST.
+
+"speedups of up to 1.32x and 1.38x for the D2Q9 lattice on the NVIDIA
+V100 and MI100 GPUs, respectively, as well as speedups of 1.46x and 1.14x
+for the D3Q19 lattice."
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import render_table, speedup_summary
+
+
+def test_speedups(benchmark, write_result):
+    rows = run_once(benchmark, speedup_summary)
+
+    text = render_table(
+        ["device", "lattice", "ST", "MR-P", "speedup", "paper"],
+        [[r["device"], r["lattice"], f"{r['st_mflups']:,.0f}",
+          f"{r['mrp_mflups']:,.0f}", f"{r['speedup']:.2f}x",
+          f"{r['paper_speedup']}x"] for r in rows],
+        "MR-P speedup over ST (Section 5)")
+    write_result("speedup_summary.txt", text)
+
+    for r in rows:
+        assert r["speedup"] == pytest.approx(r["paper_speedup"], abs=0.06), \
+            (r["device"], r["lattice"])
+        assert r["speedup"] > 1.0           # MR-P always wins
+
+    by_key = {(r["device"], r["lattice"]): r["speedup"] for r in rows}
+    # Shape: the 3D advantage is large on V100 and small on MI100.
+    assert by_key[("V100", "D3Q19")] > by_key[("V100", "D2Q9")]
+    assert by_key[("MI100", "D3Q19")] < by_key[("MI100", "D2Q9")]

@@ -1,0 +1,21 @@
+"""E1 — regenerate paper Table 1 (device features)."""
+
+from conftest import run_once
+
+from repro.bench import render_table, table1_devices
+
+
+def test_table1_devices(benchmark, write_result):
+    data = run_once(benchmark, table1_devices)
+    text = render_table(data["headers"], data["rows"],
+                        "Table 1 — NVIDIA V100 and AMD MI100 features")
+    write_result("table1_devices.txt", text)
+
+    flat = {row[0]: row[1:] for row in data["rows"]}
+    # Spot-check the paper's numbers.
+    assert flat["Frequency"] == ["1,455 MHz", "1,502 MHz"]
+    assert flat["CUDA/HIP Cores"] == ["5,120", "7,680"]
+    assert flat["SM/CU counts"] == ["80", "120"]
+    assert flat["L2 (unified)"] == ["6,144 KB", "8,192 KB"]
+    assert flat["Bandwidth"] == ["900.00 GB/s", "1,228.86 GB/s"]
+    assert flat["Compiler"] == ["nvcc v11.0.221", "hipcc 4.2"]

@@ -1,0 +1,32 @@
+"""E2 — regenerate paper Table 2 (bytes per fluid lattice update).
+
+The analytic B/F (2Q / 2M doubles) is checked against DRAM traffic
+*measured* from executing the virtual-GPU kernels on the channel proxy
+app — the ST row within 2% (boundary extras) and the MR row within 1%.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import render_table, table2_bytes_per_flup
+
+PAPER = {("ST", "D2Q9"): 144, ("ST", "D3Q19"): 304,
+         ("MR", "D2Q9"): 96, ("MR", "D3Q19"): 160}
+
+
+def test_table2_bytes_per_flup(benchmark, write_result):
+    data = run_once(benchmark, table2_bytes_per_flup)
+
+    rows = [[r["pattern"], r["formula"], r["D2Q9"], r["D2Q9_measured"],
+             r["D3Q19"], r["D3Q19_measured"]] for r in data["rows"]]
+    text = render_table(
+        ["Pattern", "B/F", "D2Q9", "D2Q9 meas.", "D3Q19", "D3Q19 meas."],
+        rows, "Table 2 — bytes per fluid lattice update")
+    write_result("table2_bytes_per_flup.txt", text)
+
+    for r in data["rows"]:
+        for lname in ("D2Q9", "D3Q19"):
+            assert r[lname] == PAPER[(r["pattern"], lname)]
+            assert r[f"{lname}_measured"] == pytest.approx(
+                PAPER[(r["pattern"], lname)], rel=0.03
+            )

@@ -1,0 +1,36 @@
+"""E3 — regenerate paper Table 3 (roofline MFLUPS estimates, Eq. 15)."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import render_table, table3_roofline
+
+# Paper Table 3 values.
+PAPER = {
+    ("ST", "V100", "D2Q9"): 6250, ("ST", "V100", "D3Q19"): 2960,
+    ("ST", "MI100", "D2Q9"): 8533, ("ST", "MI100", "D3Q19"): 4042,
+    ("MR", "V100", "D2Q9"): 9375, ("MR", "V100", "D3Q19"): 5625,
+    ("MR", "MI100", "D2Q9"): 12800, ("MR", "MI100", "D3Q19"): 7680,
+}
+
+
+def test_table3_roofline(benchmark, write_result):
+    data = run_once(benchmark, table3_roofline)
+
+    rows = []
+    for r in data["rows"]:
+        rows.append([r["pattern"]] + [
+            f"{r[(dev, lat)]:,.0f}"
+            for dev in ("V100", "MI100") for lat in ("D2Q9", "D3Q19")
+        ])
+    text = render_table(
+        ["Model", "V100 D2Q9", "V100 D3Q19", "MI100 D2Q9", "MI100 D3Q19"],
+        rows, "Table 3 — roofline MFLUPS (Eq. 15)")
+    write_result("table3_roofline.txt", text)
+
+    for r in data["rows"]:
+        for dev in ("V100", "MI100"):
+            for lat in ("D2Q9", "D3Q19"):
+                assert r[(dev, lat)] == pytest.approx(
+                    PAPER[(r["pattern"], dev, lat)], rel=0.005
+                )

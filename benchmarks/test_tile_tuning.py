@@ -1,0 +1,58 @@
+"""Extension bench: automated tile tuning (the paper's Section 3.2 rule).
+
+Ranks all legal MR tile configurations per device and lattice with the
+calibrated model, writes the tables, and asserts the device-dependent
+optima: the paper's 8x8x1 D3Q19 tile is optimal-class on both devices,
+while for D3Q27 the V100 keeps 8x8 but the MI100 must shrink to 8x4 to
+respect the two-blocks-per-CU rule on its 64 KB LDS.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import render_table
+from repro.gpu import MI100, V100
+from repro.lattice import get_lattice
+from repro.perf import best_tile, sweep_tiles
+
+
+def _rank_all():
+    out = {}
+    for lname in ("D3Q19", "D3Q27"):
+        lat = get_lattice(lname)
+        for dev in (V100, MI100):
+            out[(lname, dev.name)] = sweep_tiles(lat, (256, 256, 256), dev)
+    return out
+
+
+def test_tile_tuning(benchmark, write_result):
+    rankings = run_once(benchmark, _rank_all)
+
+    rows = []
+    for (lname, dev), ranking in rankings.items():
+        top = ranking[0]
+        rows.append([lname, dev, str(top.tile_cross), top.w_t,
+                     top.prediction.occupancy.blocks_per_sm,
+                     f"{top.mflups:,.0f}", top.prediction.bound])
+    write_result("tile_tuning.txt", render_table(
+        ["lattice", "device", "tile", "w_t", "blk/SM", "MFLUPS", "bound"],
+        rows, "MR tile auto-tuning (Section 3.2 rule, automated)"))
+
+    # Every optimum satisfies the paper's >= 2 blocks/SM rule.
+    for ranking in rankings.values():
+        assert ranking[0].prediction.occupancy.meets_two_block_rule
+
+    # D3Q19: the paper's 8x8 tile is within 2% of the best on both devices.
+    for dev in ("V100", "MI100"):
+        ranking = rankings[("D3Q19", dev)]
+        best = ranking[0].mflups
+        paper_cfg = [c for c in ranking
+                     if c.tile_cross == (8, 8) and c.w_t == 1]
+        assert paper_cfg, dev
+        assert paper_cfg[0].mflups >= 0.98 * best, dev
+
+    # D3Q27: device-dependent optimum (the MI100 LDS cliff).
+    v_best = rankings[("D3Q27", "V100")][0]
+    a_best = rankings[("D3Q27", "MI100")][0]
+    assert v_best.tile_cross == (8, 8)
+    assert a_best.tile_cross[0] * a_best.tile_cross[1] < 64

@@ -1,0 +1,83 @@
+"""Flow past a circular cylinder in a 2D channel.
+
+Exercises the obstacle-mask geometry with link-wise bounce-back on a
+curved (staircased) boundary, driven by the regularized inlet/outlet
+boundaries — a more demanding workload than the plain channel. At the
+chosen Reynolds number (~20) the wake is steady; the example reports the
+recirculation length behind the cylinder and verifies mass conservation
+through the domain.
+
+Run:  python examples/cylinder_flow.py
+"""
+
+import numpy as np
+
+from repro.analysis import drag_lift_coefficients
+from repro.boundary import HalfwayBounceBack, Plane, PressureOutlet, VelocityInlet
+from repro.geometry import cylinder_in_channel
+from repro.lattice import get_lattice
+from repro.solver import ForceMonitor, make_solver
+from repro.validation import poiseuille_profile
+
+
+def main() -> None:
+    nx, ny = 240, 62
+    radius = 6.0
+    cx, cy = nx / 4.0, ny / 2.0 + 0.5   # slight offset breaks symmetry faster
+    u_max = 0.06
+    tau = 0.62                          # Re = 2 r u_mean / nu ~ 20
+
+    lat = get_lattice("D2Q9")
+    domain = cylinder_in_channel(nx, ny, cx, cy, radius)
+
+    profile = poiseuille_profile(ny, u_max)
+    u_in = np.zeros((2, ny))
+    u_in[0] = profile
+    boundaries = [
+        HalfwayBounceBack(),
+        VelocityInlet(Plane(0, 0), u_in, method="regularized-fd"),
+        PressureOutlet(Plane(0, -1), rho_out=1.0, method="regularized-fd"),
+    ]
+    u0 = np.zeros((2, nx, ny))
+    u0[:] = u_in[:, None, :]
+    u0[:, domain.solid_mask] = 0.0
+    solver = make_solver("MR-P", lat, domain, tau, boundaries=boundaries, u0=u0)
+
+    print(f"cylinder (r={radius}) in {nx}x{ny} channel, "
+          f"{domain.n_fluid:,} fluid nodes, Re ~ 20")
+    # Momentum-exchange force on the cylinder only (not the channel walls).
+    body = np.array(domain.solid_mask)
+    body[:, 0] = False
+    body[:, -1] = False
+    drag = ForceMonitor(solver, body_mask=body, every=200)
+
+    mass0 = solver.diagnostics.mass()
+    solver.run(6000, callback=drag)
+    mass1 = solver.diagnostics.mass()
+    print(f"mass drift over 6000 steps: {abs(mass1 - mass0) / mass0:.2e}")
+
+    u_mean = 2.0 / 3.0 * u_max
+    cd, cl = drag_lift_coefficients(drag.values[-1], 1.0, u_mean, 2 * radius)
+    print(f"momentum-exchange force: Cd = {cd:.2f}, Cl = {cl:+.3f} "
+          f"(confined cylinder, blockage {2 * radius / (ny - 2):.0%})")
+    assert cd > 1.0, "drag must point downstream"
+    assert abs(cl) < 0.5 * cd, "near-symmetric steady wake"
+
+    # Recirculation length: extent of u_x < 0 along the wake centreline.
+    ux = solver.velocity()[0]
+    centreline = ux[:, int(cy)]
+    behind = np.arange(nx) > cx + radius
+    wake = behind & (centreline < 0)
+    if wake.any():
+        length = (wake.nonzero()[0].max() - (cx + radius)) / (2 * radius)
+        print(f"recirculation length: {length:.2f} diameters")
+        assert 0.2 < length < 3.0, "steady twin-vortex wake expected at Re~20"
+    else:
+        raise AssertionError("expected a recirculating wake behind the cylinder")
+
+    assert solver.diagnostics.max_speed() < 0.3, "flow must remain subsonic"
+    print("steady wake confirmed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Distributed channel flow: slab decomposition with halo exchange.
+
+Splits the paper's channel proxy app across 4 emulated ranks (slabs along
+the streamwise axis), runs it, and verifies the result is identical to the
+single-domain solver. Also prints the halo-exchange payload comparison:
+an MR rank ships M moments per face node and reconstructs the crossing
+populations locally, vs the crossing populations (or naively all Q) for
+the standard representation.
+
+Run:  python examples/distributed_channel.py
+"""
+
+import numpy as np
+
+from repro.parallel import (
+    distributed_channel_problem,
+    distributed_periodic_problem,
+)
+from repro.solver import channel_problem
+
+
+def main() -> None:
+    shape = (64, 22)
+    n_ranks = 4
+    steps = 400
+
+    dist = distributed_channel_problem("MR-P", "D2Q9", shape, n_ranks,
+                                       tau=0.9, u_max=0.04)
+    ref = channel_problem("MR-P", "D2Q9", shape, tau=0.9, u_max=0.04,
+                          bc_method="nebb", outlet_tangential="zero")
+    print(f"channel {shape} on {n_ranks} ranks, {steps} steps")
+    dist.run(steps)
+    ref.run(steps)
+
+    rg, ug = dist.gather_macroscopic()
+    rr, ur = ref.macroscopic()
+    diff = np.abs(ug - ur).max()
+    print(f"distributed vs single-domain max velocity diff: {diff:.2e}")
+    assert diff < 1e-12
+
+    print(f"halo exchange: {dist.comm.bytes_per_step():,.0f} B/step "
+          f"({dist.comm.messages} messages total)")
+
+    # Payload comparison per cut face (both directions), D3Q19 example.
+    shape3 = (24, 10, 10)
+    variants = {
+        "MR (moments, M=10)": distributed_periodic_problem(
+            "MR-P", "D3Q19", shape3, 2, 0.8),
+        "ST crossing (q=5)": distributed_periodic_problem(
+            "ST", "D3Q19", shape3, 2, 0.8),
+        "ST full (Q=19)": distributed_periodic_problem(
+            "ST", "D3Q19", shape3, 2, 0.8, st_exchange="full"),
+    }
+    print("\nD3Q19 halo payload per cut face (doubles, both directions):")
+    for name, solver in variants.items():
+        print(f"  {name:22s} {solver.communication_values_per_face():6d}")
+    print("MR halves the naive-full payload; crossing-only ST is leaner\n"
+          "still, at the cost of component-wise packing on every face.")
+
+
+if __name__ == "__main__":
+    main()

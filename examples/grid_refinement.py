@@ -1,0 +1,61 @@
+"""Two-level grid refinement in moment space.
+
+Grid refinement is the research line behind three of the paper's
+self-references ([17]-[19]); this example shows the moment
+representation's natural fit for it: transferring the state between grid
+levels needs only a copy of ``(rho, u)`` and a scalar rescale of
+``Pi_neq`` — no population machinery at all.
+
+A Taylor-Green vortex runs on a coarse 48x48 grid with a band
+x in [16, 32] refined 2x in space and time (node-aligned ghost columns,
+cubic interface interpolation after Lagrava et al.); the refined solution
+must track the analytic decay exactly as well as the unrefined one, and a
+uniform flow must cross the refinement interfaces bit-exactly.
+
+Run:  python examples/grid_refinement.py   (~1 min)
+"""
+
+import numpy as np
+
+from repro.refinement import RefinedSimulation2D, RefinedTaylorGreen2D, fine_tau
+from repro.solver import periodic_problem
+from repro.validation import relative_l2_error, taylor_green_fields
+
+
+def main() -> None:
+    # 1. Interface exactness on a uniform flow.
+    shape, band = (32, 16), (10, 20)
+    u0 = np.zeros((2, *shape))
+    u0[0] = 0.04
+    r = RefinedSimulation2D(shape, band, tau=0.8, u0=u0)
+    r.run(20)
+    dev = np.abs(r.coarse_macroscopic()[1][0] - 0.04).max()
+    print(f"uniform flow through the interface: max deviation {dev:.1e}")
+    assert dev < 1e-13
+
+    # 2. Taylor-Green: refined vs unrefined vs analytic.
+    shape, band, tau, amp = (48, 48), (16, 32), 0.8, 0.03
+    nu = (tau - 0.5) / 3.0
+    print(f"\nTaylor-Green {shape}, band {band} refined 2x "
+          f"(tau_c={tau}, tau_f={fine_tau(tau)}):\n")
+    tg = RefinedTaylorGreen2D(shape=shape, band=band, tau=tau, u0=amp)
+    rho_i, u_i = taylor_green_fields(shape, 0.0, nu, amp)
+    plain = periodic_problem("MR-P", "D2Q9", shape, tau, rho0=rho_i, u0=u_i)
+
+    print(f"{'step':>6s} {'refined err':>12s} {'unrefined err':>14s}")
+    for _ in range(4):
+        tg.run(100)
+        plain.run(100)
+        _, u_ana = taylor_green_fields(shape, float(tg.time), nu, amp)
+        err_ref = relative_l2_error(tg.coarse_macroscopic()[1], u_ana)
+        err_pln = relative_l2_error(plain.velocity(), u_ana)
+        print(f"{tg.time:6d} {err_ref:12.3e} {err_pln:14.3e}")
+        assert err_ref < 1.5 * err_pln + 5e-4
+
+    print("\nno interface drift: the moment-space coupling (copy rho,u; "
+          "rescale Pi_neq)\nwith cubic ghost interpolation preserves the "
+          "unrefined accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Survey of the lattice zoo: where the moment representation pays most.
+
+Prints, for every built-in lattice, the distribution vs moment state
+sizes, the B/F of both propagation patterns, the roofline speedup ceiling
+on the V100, and the supported recursive-regularization basis — ending
+with the paper's future-work cases (D3Q27 and the multi-speed D3Q39),
+where the MR advantage is largest.
+
+Run:  python examples/lattice_comparison.py
+"""
+
+from repro.gpu import V100
+from repro.lattice import available_lattices, get_lattice
+from repro.perf import bytes_per_flup, memory_reduction, roofline_mflups
+
+
+def main() -> None:
+    header = (f"{'lattice':8s} {'Q':>3s} {'M':>3s} {'cs2':>5s} "
+              f"{'B/F ST':>7s} {'B/F MR':>7s} {'saving':>7s} "
+              f"{'roofline x':>10s} {'RR basis (a3+a4)':>16s}")
+    print(header)
+    print("-" * len(header))
+    for name in available_lattices():
+        lat = get_lattice(name)
+        st = bytes_per_flup(lat, "ST")
+        mr = bytes_per_flup(lat, "MR")
+        ceiling = roofline_mflups(V100, lat, "MR") / roofline_mflups(V100, lat, "ST")
+        basis = f"{len(lat.h3_supported)}+{len(lat.h4_supported)}"
+        print(f"{lat.name:8s} {lat.q:3d} {lat.n_moments:3d} "
+              f"{lat.cs2:5.3f} {st:7d} {mr:7d} "
+              f"{memory_reduction(lat):6.1%} {ceiling:9.2f}x {basis:>16s}")
+
+    print(
+        "\nThe moment space M = 1 + D + D(D+1)/2 depends only on the\n"
+        "dimension, so the MR saving grows with Q: 1/3 for D2Q9, 47% for\n"
+        "D3Q19 (the paper's headline numbers), 63% for single-speed D3Q27\n"
+        "and 74% for the multi-speed D3Q39 — precisely the lattices whose\n"
+        '"increased runtime is often cited as a reason for not using\n'
+        'them" (Section 5).'
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Lid-driven cavity with a moving-wall bounce-back boundary.
+
+A classic LBM benchmark beyond the paper's channel proxy: a closed square
+cavity whose top wall slides at constant speed. Demonstrates the
+moving-wall half-way bounce-back boundary and compares the centreline
+velocity profiles of ST and MR-P (they agree closely: the moment
+representation changes the collision model, not the resolved physics).
+
+Run:  python examples/lid_driven_cavity.py
+"""
+
+import numpy as np
+
+from repro.boundary import HalfwayBounceBack
+from repro.geometry import lid_driven_cavity
+from repro.lattice import get_lattice
+from repro.solver import make_solver
+
+
+def build_cavity(scheme: str, n: int, u_lid: float, tau: float):
+    lat = get_lattice("D2Q9")
+    domain = lid_driven_cavity(n)
+    # Moving wall: only the top (y = n-1) plane carries the lid velocity.
+    wall_u = np.zeros((2, n, n))
+    wall_u[0, :, -1] = u_lid
+    bb = HalfwayBounceBack(wall_velocity=wall_u)
+    return make_solver(scheme, lat, domain, tau, boundaries=[bb])
+
+
+def main() -> None:
+    n = 65
+    u_lid = 0.05
+    tau = 0.65                     # Re = u L / nu = 0.05*63/0.05 = 63
+    steps = 8000
+
+    profiles = {}
+    for scheme in ("ST", "MR-P"):
+        solver = build_cavity(scheme, n, u_lid, tau)
+        solver.run(steps)
+        u = solver.velocity()
+        profiles[scheme] = u[0][n // 2, :]        # u_x along vertical centreline
+        vort_max = np.abs(np.gradient(u[1], axis=0)
+                          - np.gradient(u[0], axis=1)).max()
+        print(f"{scheme:5s}: max |u| = {solver.diagnostics.max_speed():.4f}, "
+              f"max |vorticity| = {vort_max:.4f}")
+
+    diff = np.abs(profiles["ST"] - profiles["MR-P"]).max() / u_lid
+    print(f"\nST vs MR-P centreline difference: {diff:.2e} (relative to lid speed)")
+    assert diff < 0.05, "schemes should produce closely matching cavity flow"
+
+    # Primary-vortex sanity: u_x changes sign along the centreline.
+    prof = profiles["MR-P"]
+    assert prof[-2] > 0.5 * u_lid * 0.5, "near-lid velocity should follow the lid"
+    assert prof[1:-1].min() < -0.01, "return flow below the vortex core"
+    print("primary vortex structure confirmed")
+
+
+if __name__ == "__main__":
+    main()

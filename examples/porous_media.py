@@ -1,0 +1,68 @@
+"""Porous-media flow on the virtual GPU: geometry traffic + Darcy's law.
+
+Runs the masked-mode ST kernel (complex geometries after Herschlag et al.
+2021, the paper's reference [4]) on a random porous medium with a body
+force, measures (a) the direct-addressing traffic penalty per fluid node
+and (b) the medium's Darcy permeability from the force-velocity
+linearity — all while the kernel remains bit-equivalent to the reference
+solver.
+
+Run:  python examples/porous_media.py   (~2 min)
+"""
+
+import numpy as np
+
+from repro.gpu import KernelProblem, MemoryTracker, STKernel, V100
+from repro.lattice import get_lattice
+from repro.perf import PerformanceModel
+
+
+def build(shape=(48, 48), fraction=0.18, seed=3):
+    lat = get_lattice("D2Q9")
+    rng = np.random.default_rng(seed)
+    solid = rng.random(shape) < fraction
+    solid[:, shape[1] // 2] = False          # guarantee a percolating path
+    return lat, solid
+
+
+def main() -> None:
+    lat, solid = build()
+    shape = solid.shape
+    tau = 0.8
+    nu = lat.viscosity(tau)
+    n_fluid = int((~solid).sum())
+    print(f"porous medium {shape}, fluid fraction "
+          f"{n_fluid / solid.size:.2f}\n")
+
+    # Traffic per fluid node (geometry fetch + direct-addressing waste).
+    prob = KernelProblem(lat, shape, tau, mode="masked", solid_mask=solid)
+    tracker = MemoryTracker(l2_bytes=int(V100.l2_kb * 1024))
+    kernel = STKernel(prob, V100, tracker=tracker)
+    kernel.step()
+    stats = kernel.step()
+    per_fluid = stats.traffic.sector_bytes_total / n_fluid
+    pred = PerformanceModel(V100).predict_shape(
+        lat, "ST", (4096, 4096), bytes_per_node=per_fluid)
+    print(f"DRAM traffic: {per_fluid:.1f} B per fluid update "
+          f"(open domain: ~145) -> {pred.mflups:,.0f} fluid-MFLUPS on V100")
+
+    # Darcy permeability from two forcings.
+    def mean_u(fx, steps=5000):
+        k = STKernel(prob, V100, force=np.array([fx, 0.0]))
+        for _ in range(steps):
+            k.step()
+        _, u = k.macroscopic_fields()
+        return u[0][~solid].mean()
+
+    f1, f2 = 1e-6, 2e-6
+    u1, u2 = mean_u(f1), mean_u(f2)
+    k_darcy = u1 * nu / f1
+    print(f"\nDarcy check: <u>(2F)/<u>(F) = {u2 / u1:.4f} (expect 2.0000)")
+    print(f"permeability k = {k_darcy:.3f} lattice units^2 "
+          f"(open channel of this height: {(shape[1] - 2) ** 2 / 12:.0f})")
+    assert abs(u2 / u1 - 2.0) < 0.02
+    assert 0 < k_darcy < (shape[1] - 2) ** 2 / 12
+
+
+if __name__ == "__main__":
+    main()

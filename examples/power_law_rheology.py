@@ -1,0 +1,64 @@
+"""Non-Newtonian channel flow: power-law rheology from moment data.
+
+Generalized Newtonian fluids need the local shear rate at every node and
+step to set the apparent viscosity. With the moment representation that
+information is already in the stored state — ``S = -Pi_neq/(2 rho cs2
+tau)`` — so the adaptive relaxation costs no gradients and no extra
+memory traffic. This example runs force-driven channel flows for a
+shear-thinning (n = 0.7), Newtonian (n = 1) and shear-thickening
+(n = 1.5) fluid and compares the steady profiles against the analytic
+Ostwald-de Waele solutions.
+
+Run:  python examples/power_law_rheology.py   (~2 min)
+"""
+
+import numpy as np
+
+from repro.boundary import HalfwayBounceBack
+from repro.geometry import channel_2d
+from repro.lattice import get_lattice
+from repro.solver.non_newtonian import (
+    PowerLawMRPSolver,
+    power_law_force,
+    power_law_poiseuille_profile,
+)
+
+
+def main() -> None:
+    lat = get_lattice("D2Q9")
+    shape = (8, 26)
+    cases = [
+        ("shear-thinning", 0.7, 0.05, 0.02),
+        ("Newtonian     ", 1.0, 0.05, 0.02),
+        ("shear-thickening", 1.5, 0.36, 0.05),
+    ]
+    print(f"power-law channel {shape}: u(y) = u_max (1 - |2y/H|^((n+1)/n))\n")
+    print(f"{'fluid':>18s} {'n':>5s} {'steps':>7s} {'max rel err':>12s} "
+          f"{'nu wall/centre':>15s}")
+    for label, n, K, u_max in cases:
+        force = power_law_force(u_max, shape[1] - 2, K, n)
+        solver = PowerLawMRPSolver(
+            lat, channel_2d(*shape, with_io=False), tau=0.6,
+            boundaries=[HalfwayBounceBack()],
+            force=np.array([force, 0.0]),
+            consistency=K, exponent=n,
+        )
+        steps = solver.run_to_steady_state(tol=1e-11, check_interval=500,
+                                           max_steps=120_000)
+        ux = solver.velocity()[0][4]
+        ana = power_law_poiseuille_profile(shape[1], u_max, n)
+        err = np.abs(ux[1:-1] - ana[1:-1]).max() / u_max
+        nu = solver.apparent_viscosity()[4]
+        ratio = nu[1] / nu[shape[1] // 2]
+        print(f"{label:>18s} {n:5.1f} {steps:7d} {err:12.2e} {ratio:15.2f}")
+        assert err < 6e-3
+
+    print(
+        "\nviscosity ratios < 1 mean the fluid is thinner at the wall\n"
+        "(shear-thinning) and > 1 thicker (shear-thickening) — the "
+        "rheology\nemerges from the moment state alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim for offline editable installs (no wheel available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Moment representation of regularized lattice Boltzmann methods "
+        "(SC'23 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+    entry_points={"console_scripts": ["mrlbm = repro.cli:main"]},
+)

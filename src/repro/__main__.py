@@ -1,0 +1,7 @@
+"""Allow ``python -m repro`` as an alias for the ``mrlbm`` CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,33 @@
+"""Flow analysis: observables, stresses from moments, convergence studies."""
+
+from .convergence import fit_convergence_order, taylor_green_convergence
+from .forces import MomentumExchangeForce, drag_lift_coefficients
+from .stability import max_stable_amplitude, stability_map, survives
+from .observables import (
+    deviatoric_stress_from_moments,
+    enstrophy,
+    mach_number,
+    reynolds_number,
+    strain_rate_fd,
+    strain_rate_from_moments,
+    velocity_gradient,
+    vorticity,
+)
+
+__all__ = [
+    "velocity_gradient",
+    "vorticity",
+    "strain_rate_fd",
+    "strain_rate_from_moments",
+    "deviatoric_stress_from_moments",
+    "enstrophy",
+    "mach_number",
+    "reynolds_number",
+    "fit_convergence_order",
+    "taylor_green_convergence",
+    "MomentumExchangeForce",
+    "drag_lift_coefficients",
+    "survives",
+    "max_stable_amplitude",
+    "stability_map",
+]

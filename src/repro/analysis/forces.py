@@ -1,0 +1,121 @@
+"""Hydrodynamic forces on solid bodies via momentum exchange.
+
+The classical momentum-exchange method (Ladd 1994): each fluid-solid link
+transfers momentum ``c_i (f_i^out + f_ibar^in)`` per step, so summing over
+the boundary links of a body gives the total hydrodynamic force without
+any stress integration. Works with the half-way bounce-back boundaries of
+this package and with any of the three schemes (the distribution is
+reconstructed on the fly for the MR solvers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Domain
+from ..lattice import LatticeDescriptor
+from ..solver import MRPSolver, MRRSolver, Solver, STSolver
+
+__all__ = ["MomentumExchangeForce", "drag_lift_coefficients"]
+
+
+class MomentumExchangeForce:
+    """Force on a set of solid nodes from the momentum-exchange method.
+
+    Parameters
+    ----------
+    solver:
+        A bound solver (any scheme) whose domain contains the body.
+    body_mask:
+        Boolean mask of the solid nodes making up the body; defaults to
+        every solid node of the domain.
+    """
+
+    def __init__(self, solver: Solver, body_mask: np.ndarray | None = None,
+                 wall_velocity: np.ndarray | None = None, rho0: float = 1.0):
+        self.solver = solver
+        lat = solver.lat
+        domain = solver.domain
+        solid = domain.solid_mask
+        if body_mask is None:
+            body_mask = solid
+        else:
+            body_mask = np.asarray(body_mask, dtype=bool)
+            if body_mask.shape != domain.shape:
+                raise ValueError(
+                    f"body mask must have shape {domain.shape}, "
+                    f"got {body_mask.shape}"
+                )
+            if (body_mask & ~solid).any():
+                raise ValueError("body mask must select solid nodes only")
+        if wall_velocity is not None:
+            wall_velocity = np.asarray(wall_velocity, dtype=np.float64)
+            if wall_velocity.shape != (lat.d, *domain.shape):
+                raise ValueError(
+                    f"wall_velocity must have shape {(lat.d, *domain.shape)}"
+                )
+
+        # Links: fluid node x with neighbour x + c_i inside the body.
+        axes = tuple(range(domain.ndim))
+        self._links: list[tuple[int, tuple[np.ndarray, ...], np.ndarray | None]] = []
+        fluidlike = domain.fluid_mask
+        for i in range(lat.q):
+            if not lat.c[i].any():
+                continue
+            neighbour_in_body = np.roll(body_mask, shift=tuple(-lat.c[i]),
+                                        axis=axes) & fluidlike
+            idx = np.nonzero(neighbour_in_body)
+            if idx[0].size == 0:
+                continue
+            mom = None
+            if wall_velocity is not None:
+                # Wall node the link ends on: x + c_i.
+                wall_idx = tuple(
+                    (idx[a] + lat.c[i, a]) % domain.shape[a]
+                    for a in range(lat.d)
+                )
+                cu = sum(lat.c[i, a] * wall_velocity[a][wall_idx]
+                         for a in range(lat.d))
+                mom = 2.0 * lat.w[i] * rho0 * cu / lat.cs2
+            self._links.append((i, idx, mom))
+        if not self._links:
+            raise ValueError("body has no fluid-solid boundary links")
+
+    def _distribution(self) -> np.ndarray:
+        """Post-collision (pre-stream) distribution of the current state."""
+        s = self.solver
+        if isinstance(s, STSolver):
+            return s.f
+        if isinstance(s, (MRPSolver, MRRSolver)):
+            return s._post_collision_f()
+        raise TypeError(f"unsupported solver type {type(s).__name__}")
+
+    def force(self) -> np.ndarray:
+        """Instantaneous force vector on the body (lattice units).
+
+        Per link, the fluid hands the wall the outgoing momentum
+        ``c_i f_i^*`` and receives the reflected population back, so the
+        transfer is ``2 c_i f_i^*`` for a static wall, reduced by the
+        moving-wall momentum term ``c_i 2 w_i rho0 (c_i . u_w)/cs2`` when
+        a wall velocity was supplied (matching the half-way bounce-back
+        boundary). Includes the hydrostatic normal contribution; subtract
+        the ambient-pressure term if only the dynamic force is wanted.
+        """
+        lat = self.solver.lat
+        f = self._distribution()
+        total = np.zeros(lat.d)
+        for i, idx, mom in self._links:
+            transfer = 2.0 * f[i][idx].sum()
+            if mom is not None:
+                transfer -= np.sum(mom)
+            total += lat.c[i] * transfer
+        return total
+
+
+def drag_lift_coefficients(force: np.ndarray, rho: float, u_ref: float,
+                           length: float) -> tuple[float, float]:
+    """2D drag/lift coefficients ``C = 2 F / (rho u^2 L)``."""
+    if u_ref <= 0 or length <= 0:
+        raise ValueError("reference velocity and length must be positive")
+    denom = 0.5 * rho * u_ref * u_ref * length
+    return float(force[0] / denom), float(force[1] / denom)

@@ -1,0 +1,47 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from .figures import (
+    SIZES_2D,
+    SIZES_3D,
+    FigureSeries,
+    figure2_d2q9,
+    figure3_d3q19,
+    figure_data,
+    render_figure_text,
+)
+from .measure import TrafficMeasurement, measure_channel_traffic, measurement_shape
+from .plot import figure_to_csv, figure_to_svg
+from .report import build_report, write_report
+from .summary import footprint_summary, intensity_summary, speedup_summary
+from .tables import (
+    render_table,
+    table1_devices,
+    table2_bytes_per_flup,
+    table3_roofline,
+    table4_bandwidth,
+)
+
+__all__ = [
+    "TrafficMeasurement",
+    "measure_channel_traffic",
+    "measurement_shape",
+    "table1_devices",
+    "table2_bytes_per_flup",
+    "table3_roofline",
+    "table4_bandwidth",
+    "render_table",
+    "FigureSeries",
+    "figure_data",
+    "figure2_d2q9",
+    "figure3_d3q19",
+    "render_figure_text",
+    "SIZES_2D",
+    "SIZES_3D",
+    "footprint_summary",
+    "speedup_summary",
+    "intensity_summary",
+    "figure_to_csv",
+    "figure_to_svg",
+    "build_report",
+    "write_report",
+]

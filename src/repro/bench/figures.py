@@ -1,0 +1,113 @@
+"""Regeneration of the paper's figures (E5, E6): MFLUPS vs problem size.
+
+Figure 2: D2Q9 on V100 and MI100; Figure 3: D3Q19. Each figure shows the
+ST, MR-P and MR-R series over a range of problem sizes together with the
+ST and MR roofline lines. Series are produced by the calibrated model fed
+with kernel-measured traffic; the rising-then-flat shape comes from the
+resident-block saturation and launch-overhead terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import MI100, V100, GPUDevice
+from ..lattice import get_lattice
+from ..perf import PerformanceModel, roofline_mflups
+from .measure import measure_channel_traffic
+
+__all__ = ["FigureSeries", "figure_data", "figure2_d2q9", "figure3_d3q19",
+           "SIZES_2D", "SIZES_3D", "render_figure_text"]
+
+#: Problem-size sweeps (grid shapes; ~0.5M to ~33M lattice nodes).
+SIZES_2D: tuple[tuple[int, int], ...] = (
+    (768, 768), (1024, 1024), (1536, 1536), (2048, 2048),
+    (3072, 2048), (3072, 3072), (4096, 3072), (4096, 4096),
+    (5120, 4096), (5760, 5760),
+)
+SIZES_3D: tuple[tuple[int, int, int], ...] = (
+    (96, 96, 96), (128, 128, 96), (128, 128, 128), (192, 128, 128),
+    (192, 192, 192), (256, 192, 192), (256, 256, 256), (320, 320, 320),
+)
+
+_SCHEMES = ("ST", "MR-P", "MR-R")
+
+
+@dataclass
+class FigureSeries:
+    """One device's panel of a figure."""
+
+    device: str
+    lattice: str
+    sizes: list[int] = field(default_factory=list)          # nodes per point
+    series: dict[str, list[float]] = field(default_factory=dict)
+    rooflines: dict[str, float] = field(default_factory=dict)
+
+
+def _mr_tile(ndim: int) -> tuple[tuple[int, ...], int]:
+    """Paper-style MR launch: 16-wide, 8-high tiles in 2D; 8x8x1 in 3D."""
+    return ((16,), 8) if ndim == 2 else ((8, 8), 1)
+
+
+def figure_data(lattice: str, sizes, devices: tuple[GPUDevice, ...] = (V100, MI100)
+                ) -> list[FigureSeries]:
+    """Model the ST/MR-P/MR-R series over problem sizes for both devices."""
+    lat = get_lattice(lattice)
+    tile, w_t = _mr_tile(lat.d)
+    panels = []
+    for dev in devices:
+        pm = PerformanceModel(dev)
+        panel = FigureSeries(device=dev.name, lattice=lat.name)
+        panel.sizes = [int(_prod(s)) for s in sizes]
+        for scheme in _SCHEMES:
+            meas = measure_channel_traffic(scheme, lattice, dev.name)
+            vals = []
+            for shape in sizes:
+                pred = pm.predict_shape(
+                    lat, scheme, shape,
+                    tile_cross=tile if scheme != "ST" else None,
+                    w_t=w_t if scheme != "ST" else 1,
+                    bytes_per_node=meas.dram_bytes_per_node,
+                )
+                vals.append(pred.mflups)
+            panel.series[scheme] = vals
+        panel.rooflines = {
+            "ST": roofline_mflups(dev, lat, "ST"),
+            "MR": roofline_mflups(dev, lat, "MR"),
+        }
+        panels.append(panel)
+    return panels
+
+
+def figure2_d2q9() -> list[FigureSeries]:
+    """Paper Figure 2: D2Q9 performance on V100 (left) and MI100 (right)."""
+    return figure_data("D2Q9", SIZES_2D)
+
+
+def figure3_d3q19() -> list[FigureSeries]:
+    """Paper Figure 3: D3Q19 performance on V100 (left) and MI100 (right)."""
+    return figure_data("D3Q19", SIZES_3D)
+
+
+def render_figure_text(panels: list[FigureSeries]) -> str:
+    """Plain-text rendering of a figure (one block per device)."""
+    blocks = []
+    for p in panels:
+        lines = [f"{p.lattice} on {p.device}  "
+                 f"(rooflines: ST {p.rooflines['ST']:,.0f}, MR {p.rooflines['MR']:,.0f} MFLUPS)"]
+        header = f"{'nodes':>12s}" + "".join(f"{s:>10s}" for s in _SCHEMES)
+        lines.append(header)
+        for k, n in enumerate(p.sizes):
+            row = f"{n:12,d}" + "".join(
+                f"{p.series[s][k]:10,.0f}" for s in _SCHEMES
+            )
+            lines.append(row)
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def _prod(shape) -> int:
+    out = 1
+    for s in shape:
+        out *= s
+    return out

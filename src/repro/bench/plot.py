@@ -1,0 +1,152 @@
+"""Dependency-free figure export: CSV series and SVG line charts.
+
+Renders the regenerated Figures 2-3 as standalone SVG files (one panel
+per device, ST/MR-P/MR-R series plus dashed roofline lines), matching the
+layout of the paper's figures, without requiring matplotlib.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .figures import FigureSeries
+
+__all__ = ["figure_to_csv", "figure_to_svg"]
+
+_COLORS = {"ST": "#355e8d", "MR-P": "#b3432b", "MR-R": "#3b7d54"}
+_ROOF_COLORS = {"ST": "#9bb4cc", "MR": "#d9a79b"}
+
+
+def figure_to_csv(panels: list[FigureSeries]) -> str:
+    """One CSV block per device panel: nodes, per-scheme MFLUPS, rooflines."""
+    buf = io.StringIO()
+    for p in panels:
+        schemes = sorted(p.series)
+        buf.write(f"# {p.lattice} on {p.device}; rooflines: "
+                  + ", ".join(f"{k}={v:.0f}" for k, v in p.rooflines.items())
+                  + "\n")
+        buf.write("nodes," + ",".join(schemes) + "\n")
+        for k, n in enumerate(p.sizes):
+            buf.write(str(n) + ","
+                      + ",".join(f"{p.series[s][k]:.1f}" for s in schemes)
+                      + "\n")
+        buf.write("\n")
+    return buf.getvalue()
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    import math
+
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-9 * step:
+        if t >= lo - 1e-9 * step:
+            ticks.append(t)
+        t += step
+    return ticks
+
+
+def figure_to_svg(panels: list[FigureSeries], title: str = "",
+                  width: int = 460, height: int = 360) -> str:
+    """Side-by-side SVG panels (V100 left, MI100 right), paper-style."""
+    pad_l, pad_r, pad_t, pad_b = 64, 16, 48, 46
+    total_w = width * len(panels)
+    out = io.StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" '
+        f'height="{height}" font-family="Helvetica, Arial, sans-serif">\n'
+    )
+    out.write(f'<rect width="{total_w}" height="{height}" fill="white"/>\n')
+    if title:
+        out.write(f'<text x="{total_w / 2}" y="18" text-anchor="middle" '
+                  f'font-size="14" font-weight="bold">{title}</text>\n')
+
+    for pi, p in enumerate(panels):
+        x0 = pi * width + pad_l
+        y0 = pad_t
+        plot_w = width - pad_l - pad_r
+        plot_h = height - pad_t - pad_b
+        x_max = max(p.sizes)
+        y_max = 1.05 * max(max(p.rooflines.values()),
+                           max(max(v) for v in p.series.values()))
+
+        def sx(n):
+            return x0 + plot_w * n / x_max
+
+        def sy(v):
+            return y0 + plot_h * (1.0 - v / y_max)
+
+        # Frame and panel caption.
+        out.write(f'<rect x="{x0}" y="{y0}" width="{plot_w}" '
+                  f'height="{plot_h}" fill="none" stroke="#444"/>\n')
+        out.write(f'<text x="{x0 + plot_w / 2}" y="{y0 - 8}" '
+                  f'text-anchor="middle" font-size="12">'
+                  f'{p.lattice} on {p.device}</text>\n')
+
+        # Axis ticks.
+        for t in _ticks(0, x_max, 5):
+            px = sx(t)
+            out.write(f'<line x1="{px:.1f}" y1="{y0 + plot_h}" '
+                      f'x2="{px:.1f}" y2="{y0 + plot_h + 4}" stroke="#444"/>\n')
+            label = f"{t / 1e6:.0f}M" if x_max > 2e6 else f"{t:.0f}"
+            out.write(f'<text x="{px:.1f}" y="{y0 + plot_h + 16}" '
+                      f'text-anchor="middle" font-size="10">{label}</text>\n')
+        for t in _ticks(0, y_max, 6):
+            py = sy(t)
+            out.write(f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" '
+                      f'y2="{py:.1f}" stroke="#444"/>\n')
+            out.write(f'<text x="{x0 - 7}" y="{py + 3:.1f}" '
+                      f'text-anchor="end" font-size="10">{t:,.0f}</text>\n')
+        out.write(f'<text x="{x0 + plot_w / 2}" y="{height - 8}" '
+                  f'text-anchor="middle" font-size="11">'
+                  f'problem size (lattice nodes)</text>\n')
+        out.write(f'<text x="{pi * width + 14}" y="{y0 + plot_h / 2}" '
+                  f'font-size="11" text-anchor="middle" '
+                  f'transform="rotate(-90 {pi * width + 14} '
+                  f'{y0 + plot_h / 2})">MFLUPS</text>\n')
+
+        # Roofline dashed lines.
+        for name, roof in p.rooflines.items():
+            if roof > y_max:
+                continue
+            py = sy(roof)
+            out.write(f'<line x1="{x0}" y1="{py:.1f}" x2="{x0 + plot_w}" '
+                      f'y2="{py:.1f}" stroke="{_ROOF_COLORS[name]}" '
+                      f'stroke-dasharray="6 4" stroke-width="1.3"/>\n')
+            out.write(f'<text x="{x0 + plot_w - 4}" y="{py - 4:.1f}" '
+                      f'text-anchor="end" font-size="9" '
+                      f'fill="{_ROOF_COLORS[name]}">{name} roofline</text>\n')
+
+        # Data series.
+        for scheme, vals in p.series.items():
+            color = _COLORS.get(scheme, "#555")
+            pts = " ".join(f"{sx(n):.1f},{sy(v):.1f}"
+                           for n, v in zip(p.sizes, vals))
+            out.write(f'<polyline points="{pts}" fill="none" '
+                      f'stroke="{color}" stroke-width="2"/>\n')
+            for n, v in zip(p.sizes, vals):
+                out.write(f'<circle cx="{sx(n):.1f}" cy="{sy(v):.1f}" '
+                          f'r="2.6" fill="{color}"/>\n')
+
+        # Legend.
+        lx, ly = x0 + 10, y0 + 12
+        for k, scheme in enumerate(p.series):
+            color = _COLORS.get(scheme, "#555")
+            yk = ly + 14 * k
+            out.write(f'<line x1="{lx}" y1="{yk - 4}" x2="{lx + 18}" '
+                      f'y2="{yk - 4}" stroke="{color}" stroke-width="2"/>\n')
+            out.write(f'<text x="{lx + 23}" y="{yk}" font-size="10">'
+                      f'{scheme}</text>\n')
+
+    out.write("</svg>\n")
+    return out.getvalue()

@@ -1,0 +1,124 @@
+"""Regeneration of the paper's tables (E1-E4 in DESIGN.md).
+
+Each ``table*`` function returns the data as a structured dict and a
+``render_*`` companion produces the formatted text matching the paper's
+rows. The benchmark suite prints these and asserts the reproduction bands.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import MI100, V100, GPUDevice
+from ..lattice import get_lattice
+from ..perf import (
+    PerformanceModel,
+    bandwidth_efficiency,
+    bytes_per_flup,
+    roofline_mflups,
+)
+from .measure import measure_channel_traffic
+
+__all__ = [
+    "table1_devices",
+    "table2_bytes_per_flup",
+    "table3_roofline",
+    "table4_bandwidth",
+    "render_table",
+]
+
+_DEVICES = (V100, MI100)
+_LATTICES = ("D2Q9", "D3Q19")
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Minimal fixed-width table rendering for bench output."""
+    cols = [headers] + [[str(c) for c in r] for r in rows]
+    widths = [max(len(row[i]) for row in cols) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def table1_devices() -> dict:
+    """Paper Table 1: main features of the two GPUs."""
+    fields = [
+        ("Frequency", lambda d: f"{d.frequency_mhz:,.0f} MHz"),
+        ("CUDA/HIP Cores", lambda d: f"{d.cores:,}"),
+        ("SM/CU counts", lambda d: str(d.sm_count)),
+        ("Shared Mem.", lambda d: f"{d.shared_mem_per_sm_kb:.0f} KB per SM/CU"),
+        ("L1", lambda d: f"{d.l1_kb:.0f} KB per SM/CU"),
+        ("L2 (unified)", lambda d: f"{d.l2_kb:,.0f} KB"),
+        ("Memory", lambda d: f"HBM2 {d.memory_gb:.0f} GB"),
+        ("Bandwidth", lambda d: f"{d.bandwidth_gbs:,.2f} GB/s"),
+        ("Compiler", lambda d: d.compiler),
+    ]
+    return {
+        "headers": ["GPU Arch."] + [d.name for d in _DEVICES],
+        "rows": [[label] + [fn(d) for d in _DEVICES] for label, fn in fields],
+    }
+
+
+def table2_bytes_per_flup() -> dict:
+    """Paper Table 2: B/F per pattern and lattice, plus our kernel-measured
+    DRAM bytes per node for comparison."""
+    rows = []
+    for pattern, formula in (("ST", "2Q*double"), ("MR", "2M*double")):
+        row = {"pattern": pattern, "formula": formula}
+        for lname in _LATTICES:
+            lat = get_lattice(lname)
+            row[lname] = bytes_per_flup(lat, pattern)
+            scheme = "ST" if pattern == "ST" else "MR-P"
+            meas = measure_channel_traffic(scheme, lname)
+            row[f"{lname}_measured"] = round(meas.dram_bytes_per_node, 1)
+        rows.append(row)
+    return {"rows": rows}
+
+
+def table3_roofline() -> dict:
+    """Paper Table 3: roofline MFLUPS estimates (Eq. 15)."""
+    rows = []
+    for pattern in ("ST", "MR"):
+        row = {"pattern": pattern}
+        for dev in _DEVICES:
+            for lname in _LATTICES:
+                lat = get_lattice(lname)
+                row[(dev.name, lname)] = roofline_mflups(dev, lat, pattern)
+        rows.append(row)
+    return {"rows": rows}
+
+
+def table4_bandwidth() -> dict:
+    """Paper Table 4 + Section 4 text: sustained bandwidth per pattern.
+
+    Our sustained bandwidth = model MFLUPS x measured DRAM bytes/node; the
+    paper's numbers come from nvprof/rocprof counters. Also reports the
+    fraction of peak, the quantity the paper's narrative is built on.
+    """
+    rows = []
+    for dev in _DEVICES:
+        pm = PerformanceModel(dev)
+        for pattern in ("ST", "MR"):
+            scheme = "ST" if pattern == "ST" else "MR-P"
+            row = {"device": dev.name, "pattern": pattern}
+            for lname in _LATTICES:
+                lat = get_lattice(lname)
+                meas = measure_channel_traffic(scheme, lname, dev.name)
+                shape = _plateau_shape(lat.d)
+                pred = pm.predict_shape(
+                    lat, scheme, shape,
+                    bytes_per_node=meas.dram_bytes_per_node,
+                )
+                bw = pred.effective_bandwidth_gbs
+                row[lname] = bw
+                row[f"{lname}_fraction"] = bw / dev.bandwidth_gbs
+            rows.append(row)
+    return {"rows": rows}
+
+
+def _plateau_shape(ndim: int) -> tuple[int, ...]:
+    """A saturated problem size (right end of Figures 2-3)."""
+    return (4096, 4096) if ndim == 2 else (256, 256, 256)

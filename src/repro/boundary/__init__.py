@@ -1,0 +1,14 @@
+"""Boundary conditions: bounce-back walls, velocity inlets, pressure outlets."""
+
+from .base import Boundary, Plane
+from .bounceback import FullwayBounceBack, HalfwayBounceBack
+from .inletoutlet import PressureOutlet, VelocityInlet
+
+__all__ = [
+    "Boundary",
+    "Plane",
+    "HalfwayBounceBack",
+    "FullwayBounceBack",
+    "VelocityInlet",
+    "PressureOutlet",
+]

@@ -1,0 +1,315 @@
+"""Command-line interface: ``mrlbm`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``run``      Run a channel or Taylor-Green simulation with any scheme.
+``tables``   Regenerate the paper's Tables 1-4.
+``figures``  Regenerate the paper's Figures 2-3 (text rendering).
+``summary``  Regenerate the headline claims (footprint, speedups, MR-R cost).
+``devices``  Show the modelled GPU devices.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="mrlbm",
+        description="Moment representation of regularized LBM (SC'23 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a simulation")
+    run.add_argument("--scheme", default="MR-P", choices=["ST", "MR-P", "MR-R"])
+    run.add_argument("--lattice", default="D2Q9")
+    run.add_argument("--shape", default="128,66",
+                     help="comma-separated grid shape, e.g. 128,66 or 64,34,34")
+    run.add_argument("--problem", default="channel", choices=["channel", "taylor-green"])
+    run.add_argument("--tau", type=float, default=0.8)
+    run.add_argument("--u-max", type=float, default=0.05)
+    run.add_argument("--steps", type=int, default=1000)
+    run.add_argument("--bc", default="regularized-fd", choices=["regularized-fd", "nebb"])
+    run.add_argument("--output", default=None, help="write final fields to .npz/.vtk")
+    run.add_argument("--report-interval", type=int, default=200)
+
+    sub.add_parser("tables", help="regenerate paper Tables 1-4")
+    fig = sub.add_parser("figures", help="regenerate paper Figures 2-3")
+    fig.add_argument("--which", default="both", choices=["2", "3", "both"])
+    fig.add_argument("--svg", default=None, metavar="PREFIX",
+                     help="also write PREFIX_figure2.svg / PREFIX_figure3.svg")
+    fig.add_argument("--csv", default=None, metavar="PREFIX",
+                     help="also write PREFIX_figure2.csv / PREFIX_figure3.csv")
+    sub.add_parser("summary", help="regenerate headline claims")
+    sub.add_parser("devices", help="list modelled GPU devices")
+
+    val = sub.add_parser("validate",
+                         help="quick physics validation (TG + Poiseuille)")
+    val.add_argument("--fast", action="store_true",
+                     help="smaller grids / fewer steps")
+
+    rep = sub.add_parser("report", help="write the full reproduction report")
+    rep.add_argument("--output", default="reproduction_report.md")
+    rep.add_argument("--svg-dir", default=None,
+                     help="also write the SVG figures into this directory")
+
+    tune = sub.add_parser("tune", help="rank MR tile configurations")
+    tune.add_argument("--lattice", default="D3Q19")
+    tune.add_argument("--device", default="V100")
+    tune.add_argument("--shape", default="256,256,256")
+    tune.add_argument("--scheme", default="MR-P", choices=["MR-P", "MR-R"])
+    tune.add_argument("--top", type=int, default=10)
+    return p
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .solver import channel_problem, periodic_problem
+    from .validation import taylor_green_fields
+
+    shape = tuple(int(s) for s in args.shape.split(","))
+    if args.problem == "channel":
+        solver = channel_problem(args.scheme, args.lattice, shape,
+                                 tau=args.tau, u_max=args.u_max,
+                                 bc_method=args.bc)
+    else:
+        if len(shape) != 2:
+            raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
+        nu = (args.tau - 0.5) / 3.0
+        rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
+        solver = periodic_problem(args.scheme, args.lattice, shape, args.tau,
+                                  rho0=rho0, u0=u0)
+
+    n_fluid = solver.domain.n_fluid
+    t0 = time.perf_counter()
+
+    def report(s):
+        elapsed = time.perf_counter() - t0
+        mflups = n_fluid * s.time / elapsed / 1e6
+        print(f"  step {s.time:7d}  max|u| = {s.diagnostics.max_speed():.5f}  "
+              f"mass = {s.diagnostics.mass():.6e}  ({mflups:.2f} CPU-MFLUPS)")
+
+    print(f"{args.scheme} / {args.lattice} on {shape} "
+          f"({n_fluid:,} fluid nodes), tau = {args.tau}")
+    solver.run(args.steps, callback=report, callback_interval=args.report_interval)
+
+    if args.output:
+        from .io import save_fields, write_vtk
+
+        rho, u = solver.macroscopic()
+        if args.output.endswith(".vtk"):
+            write_vtk(args.output, rho, u)
+        else:
+            save_fields(args.output, rho, u, time=solver.time)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .bench import (
+        render_table,
+        table1_devices,
+        table2_bytes_per_flup,
+        table3_roofline,
+        table4_bandwidth,
+    )
+
+    t1 = table1_devices()
+    print(render_table(t1["headers"], t1["rows"], "Table 1 — device features"))
+
+    print("\nTable 2 — bytes per fluid lattice update (B/F)")
+    rows = [[r["pattern"], r["formula"], r["D2Q9"], r["D2Q9_measured"],
+             r["D3Q19"], r["D3Q19_measured"]] for r in table2_bytes_per_flup()["rows"]]
+    print(render_table(
+        ["Pattern", "B/F", "D2Q9", "(measured)", "D3Q19", "(measured)"], rows))
+
+    print("\nTable 3 — roofline MFLUPS (Eq. 15)")
+    rows = [[r["pattern"]] + [f"{r[(d, l)]:,.0f}"
+            for d in ("V100", "MI100") for l in ("D2Q9", "D3Q19")]
+            for r in table3_roofline()["rows"]]
+    print(render_table(
+        ["Model", "V100 D2Q9", "V100 D3Q19", "MI100 D2Q9", "MI100 D3Q19"], rows))
+
+    print("\nTable 4 — sustained bandwidth (GB/s, fraction of peak)")
+    rows = [[r["device"], r["pattern"],
+             f"{r['D2Q9']:.0f} ({r['D2Q9_fraction']:.0%})",
+             f"{r['D3Q19']:.0f} ({r['D3Q19_fraction']:.0%})"]
+            for r in table4_bandwidth()["rows"]]
+    print(render_table(["GPU", "Model", "D2Q9", "D3Q19"], rows))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        figure2_d2q9,
+        figure3_d3q19,
+        figure_to_csv,
+        figure_to_svg,
+        render_figure_text,
+    )
+
+    jobs = []
+    if args.which in ("2", "both"):
+        jobs.append(("figure2", "Figure 2 — D2Q9 performance (MFLUPS)",
+                     figure2_d2q9))
+    if args.which in ("3", "both"):
+        jobs.append(("figure3", "Figure 3 — D3Q19 performance (MFLUPS)",
+                     figure3_d3q19))
+    for name, title, fn in jobs:
+        panels = fn()
+        print(f"{title}\n")
+        print(render_figure_text(panels))
+        print()
+        if args.svg:
+            path = Path(f"{args.svg}_{name}.svg")
+            path.write_text(figure_to_svg(panels, title))
+            print(f"wrote {path}")
+        if args.csv:
+            path = Path(f"{args.csv}_{name}.csv")
+            path.write_text(figure_to_csv(panels))
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from .bench import footprint_summary, intensity_summary, speedup_summary
+
+    print("Memory footprint at 15M fluid nodes (Section 4.1):")
+    for r in footprint_summary():
+        if r["scheme"] == "reduction":
+            print(f"  {r['lattice']:6s} reduction: {r['gib']:.1%} "
+                  f"(paper ~{r['paper_gb']:.0%})")
+        else:
+            print(f"  {r['lattice']:6s} {r['scheme']:3s}: {r['gib']:.2f} GiB "
+                  f"(paper ~{r['paper_gb']} GB)")
+    print("\nMR-P speedup over ST (Section 5):")
+    for r in speedup_summary():
+        print(f"  {r['device']:6s} {r['lattice']:6s}: {r['speedup']:.2f}x "
+              f"(paper {r['paper_speedup']}x)")
+    s = intensity_summary()
+    print(f"\nMR-R/MR-P arithmetic intensity, D2Q9: {s['ai_ratio_d2q9']:.2f} "
+          f"(paper ~{s['paper_ai_ratio']})")
+    for dev, v in s["d3q19_penalties"].items():
+        print(f"  {dev}: MR-R penalty on D3Q19 = {v['penalty']:.0f} MFLUPS "
+              f"(paper ~{v['paper_penalty']:.0f})")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from .gpu import MI100, V100
+
+    for d in (V100, MI100):
+        print(f"{d.name}: {d.vendor}, {d.sm_count} SM/CU, "
+              f"{d.bandwidth_gbs} GB/s, {d.fp64_tflops} FP64 TFLOP/s, "
+              f"{d.memory_gb:.0f} GB HBM2, {d.compiler}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .gpu import get_device
+    from .lattice import get_lattice
+    from .perf import sweep_tiles
+
+    lat = get_lattice(args.lattice)
+    device = get_device(args.device)
+    shape = tuple(int(s) for s in args.shape.split(","))
+    ranking = sweep_tiles(lat, shape, device, scheme=args.scheme)
+    print(f"{args.scheme} / {lat.name} on {device.name}, domain {shape} "
+          f"({len(ranking)} legal configurations)\n")
+    print(f"{'tile':>10s} {'w_t':>4s} {'threads':>8s} {'shared':>9s} "
+          f"{'blk/SM':>7s} {'MFLUPS':>9s} {'bound':>8s}")
+    for cand in ranking[: args.top]:
+        occ = cand.prediction.occupancy
+        from .perf import mr_launch_config
+
+        cfg = mr_launch_config(lat, shape, cand.tile_cross, cand.w_t)
+        print(f"{str(cand.tile_cross):>10s} {cand.w_t:4d} "
+              f"{cfg.threads_per_block:8d} "
+              f"{cfg.shared_bytes_per_block / 1024:8.1f}K "
+              f"{occ.blocks_per_sm:7d} {cand.mflups:9,.0f} "
+              f"{cand.prediction.bound:>8s}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .solver import channel_problem, periodic_problem
+    from .validation import (
+        poiseuille_profile,
+        relative_l2_error,
+        taylor_green_fields,
+    )
+
+    tg_shape = (32, 32) if args.fast else (64, 64)
+    tg_steps = 100 if args.fast else 300
+    ch_shape = (32, 18) if args.fast else (48, 26)
+    ch_steps = 3000 if args.fast else 12000
+    tau, u0 = 0.8, 0.03
+    nu = (tau - 0.5) / 3.0
+    failures = 0
+
+    print(f"Taylor-Green {tg_shape}, {tg_steps} steps "
+          f"(tolerance 1% relative L2):")
+    rho_i, u_i = taylor_green_fields(tg_shape, 0.0, nu, u0)
+    _, u_ref = taylor_green_fields(tg_shape, float(tg_steps), nu, u0)
+    for scheme in ("ST", "MR-P", "MR-R"):
+        s = periodic_problem(scheme, "D2Q9", tg_shape, tau,
+                             rho0=rho_i, u0=u_i)
+        s.run(tg_steps)
+        err = relative_l2_error(s.velocity(), u_ref)
+        ok = err < 0.01
+        failures += not ok
+        print(f"  {scheme:5s} error {err:.2e}  {'PASS' if ok else 'FAIL'}")
+
+    print(f"\nChannel Poiseuille {ch_shape}, {ch_steps} steps "
+          f"(tolerance 2% max error):")
+    analytic = poiseuille_profile(ch_shape[1], 0.04)
+    for scheme in ("ST", "MR-P", "MR-R"):
+        s = channel_problem(scheme, "D2Q9", ch_shape, tau=0.9, u_max=0.04)
+        s.run(ch_steps)
+        import numpy as _np
+
+        prof = s.velocity()[0][ch_shape[0] // 2]
+        err = _np.abs(prof[1:-1] - analytic[1:-1]).max() / 0.04
+        ok = err < 0.02
+        failures += not ok
+        print(f"  {scheme:5s} error {err:.2e}  {'PASS' if ok else 'FAIL'}")
+
+    print(f"\n{'all validations passed' if not failures else f'{failures} FAILURES'}")
+    return 1 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench import write_report
+
+    path = write_report(args.output, svg_dir=args.svg_dir)
+    print(f"wrote {path}")
+    if args.svg_dir:
+        print(f"wrote SVG figures into {args.svg_dir}/")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "tables": _cmd_tables,
+        "figures": _cmd_figures,
+        "summary": _cmd_summary,
+        "devices": _cmd_devices,
+        "tune": _cmd_tune,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

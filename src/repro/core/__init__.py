@@ -1,0 +1,84 @@
+"""Core LBM numerics: moments, equilibria, collisions, streaming."""
+
+from .collision import (
+    BGKCollision,
+    CollisionOperator,
+    ProjectiveRegularizedCollision,
+    TRTCollision,
+    RecursiveRegularizedCollision,
+    collide_moments_projective,
+    collide_moments_recursive,
+    collision_from_name,
+)
+from .equilibrium import (
+    a3_equilibrium_cols,
+    a4_equilibrium_cols,
+    equilibrium,
+    equilibrium_extended,
+    equilibrium_moments,
+)
+from .moments import (
+    f_from_moments,
+    macroscopic,
+    moments_from_f,
+    pack_moments,
+    pi_cols_from_tensor,
+    pi_tensor_from_cols,
+    second_moment_cols,
+    split_moments,
+    velocity_from_moments,
+)
+from .regularization import (
+    hermite_delta_higher_order,
+    hermite_delta_second_order,
+    pi_neq_cols_from_f,
+    recursive_a3_neq_cols,
+    recursive_a4_neq_cols,
+    regularize_projective,
+)
+from .forcing import (
+    apply_moment_space_force,
+    guo_source,
+    half_force_velocity,
+    normalize_force,
+)
+from .streaming import pull_gather, stream_pull, stream_push, streaming_offsets
+
+__all__ = [
+    "BGKCollision",
+    "TRTCollision",
+    "CollisionOperator",
+    "ProjectiveRegularizedCollision",
+    "RecursiveRegularizedCollision",
+    "collide_moments_projective",
+    "collide_moments_recursive",
+    "collision_from_name",
+    "equilibrium",
+    "equilibrium_extended",
+    "equilibrium_moments",
+    "a3_equilibrium_cols",
+    "a4_equilibrium_cols",
+    "macroscopic",
+    "moments_from_f",
+    "f_from_moments",
+    "split_moments",
+    "pack_moments",
+    "velocity_from_moments",
+    "pi_cols_from_tensor",
+    "pi_tensor_from_cols",
+    "second_moment_cols",
+    "pi_neq_cols_from_f",
+    "recursive_a3_neq_cols",
+    "recursive_a4_neq_cols",
+    "regularize_projective",
+    "hermite_delta_second_order",
+    "hermite_delta_higher_order",
+    "stream_push",
+    "stream_pull",
+    "pull_gather",
+    "streaming_offsets",
+    "normalize_force",
+    "half_force_velocity",
+    "guo_source",
+    "apply_moment_space_force",
+]

@@ -1,0 +1,93 @@
+"""Equilibrium distributions and equilibrium moments.
+
+Implements the second-order Maxwell-Boltzmann expansion of paper Eq. 4 (the
+classical LBGK equilibrium) together with its moment-space counterpart and
+the third/fourth-order Hermite equilibrium coefficients
+``a3_eq = rho*u*u*u`` and ``a4_eq = rho*u*u*u*u`` used by recursive
+regularization (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import LatticeDescriptor
+from .moments import pack_moments
+
+__all__ = [
+    "equilibrium",
+    "equilibrium_moments",
+    "a3_equilibrium_cols",
+    "a4_equilibrium_cols",
+    "equilibrium_extended",
+]
+
+
+def _as_velocity_field(lat: LatticeDescriptor, u: np.ndarray) -> np.ndarray:
+    u = np.asarray(u, dtype=np.float64)
+    if u.shape[0] != lat.d:
+        raise ValueError(f"velocity field must have leading axis {lat.d}, got {u.shape}")
+    return u
+
+
+def equilibrium(lat: LatticeDescriptor, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Second-order equilibrium distribution (paper Eq. 4).
+
+    ``f_eq_i = w_i rho (1 + c.u/cs2 + (c.u)^2/(2 cs4) - u.u/(2 cs2))``,
+    which is exactly the Hermite form
+    ``w_i (H0 rho + H1.rho u / cs2 + H2 : rho u u / (2 cs4))``.
+
+    Parameters have shapes ``grid`` (rho) and ``(D, *grid)`` (u); the result
+    has shape ``(Q, *grid)``.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    u = _as_velocity_field(lat, u)
+    cu = np.einsum("qa,a...->q...", lat.c.astype(np.float64), u)
+    usq = np.einsum("a...,a...->...", u, u)
+    return lat.w.reshape((-1,) + (1,) * rho.ndim) * rho * (
+        1.0 + cu / lat.cs2 + cu * cu / (2.0 * lat.cs4) - usq / (2.0 * lat.cs2)
+    )
+
+
+def equilibrium_moments(lat: LatticeDescriptor, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Equilibrium M-vector: ``[rho, rho u, (rho u u)_distinct]``.
+
+    The Hermite second moment of Eq. 4 equilibrium is ``Pi_eq = rho u u``
+    (paper, below Eq. 10).
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    u = _as_velocity_field(lat, u)
+    pi_cols = np.stack([rho * u[a] * u[b] for a, b in lat.pair_tuples], axis=0)
+    return pack_moments(lat, rho, rho * u, pi_cols)
+
+
+def a3_equilibrium_cols(lat: LatticeDescriptor, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Distinct components of ``a3_eq = rho u u u`` (Section 2.3)."""
+    u = _as_velocity_field(lat, u)
+    return np.stack([rho * u[a] * u[b] * u[c] for a, b, c in lat.triple_tuples], axis=0)
+
+
+def a4_equilibrium_cols(lat: LatticeDescriptor, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Distinct components of ``a4_eq = rho u u u u`` (Section 2.3)."""
+    u = _as_velocity_field(lat, u)
+    return np.stack(
+        [rho * u[a] * u[b] * u[c] * u[e] for a, b, c, e in lat.quad_tuples], axis=0
+    )
+
+
+def equilibrium_extended(lat: LatticeDescriptor, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Fourth-order Hermite equilibrium (the equilibrium limit of Eq. 14).
+
+    Adds the third- and fourth-order Hermite terms with coefficients
+    ``a3_eq = rho uuu`` and ``a4_eq = rho uuuu`` on top of Eq. 4. On
+    lattices that do not support some components (e.g. H3_xxx on D2Q9) the
+    corresponding Hermite columns vanish identically, so the expression is
+    automatically projected onto the supported subspace.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    base = equilibrium(lat, rho, u)
+    from .regularization import hermite_delta_higher_order
+
+    a3 = a3_equilibrium_cols(lat, rho, u)
+    a4 = a4_equilibrium_cols(lat, rho, u)
+    return base + hermite_delta_higher_order(lat, a3, a4)

@@ -1,0 +1,111 @@
+"""Moment-space algebra: projections between distribution and moment space.
+
+Array conventions used throughout the package
+---------------------------------------------
+
+* Distribution fields ``f`` have shape ``(Q, *grid)`` — component-major,
+  the NumPy analogue of the structure-of-arrays (SoA) layout the paper uses
+  for coalesced GPU access (Section 3.1).
+* Moment fields ``m`` have shape ``(M, *grid)`` with the layout
+  ``[rho, j_x..j_D, Pi_xx, Pi_xy, ..., Pi_DD]`` where ``j = rho*u`` and the
+  second-order block stores the *Hermite* second moment
+  ``Pi_ab = sum_i H2_iab f_i`` (paper Eq. 3) in
+  combinations-with-replacement order.
+* Velocity fields ``u`` have shape ``(D, *grid)``.
+
+The f -> M projection (Eqs. 1-3) and the M -> f reconstruction of the
+projective-regularized state (Eq. 11) are both linear, so they are single
+``einsum`` contractions against precomputed ``(M, Q)`` / ``(Q, M)``
+matrices stored on the lattice descriptor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import LatticeDescriptor
+
+__all__ = [
+    "macroscopic",
+    "moments_from_f",
+    "f_from_moments",
+    "split_moments",
+    "pack_moments",
+    "velocity_from_moments",
+    "pi_cols_from_tensor",
+    "pi_tensor_from_cols",
+    "second_moment_cols",
+]
+
+
+def macroscopic(lat: LatticeDescriptor, f: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Density and velocity from a distribution field (Eqs. 1-2).
+
+    Returns ``(rho, u)`` with shapes ``grid`` and ``(D, *grid)``.
+    """
+    rho = f.sum(axis=0)
+    j = np.einsum("qa,q...->a...", lat.c.astype(np.float64), f)
+    return rho, j / rho
+
+
+def moments_from_f(lat: LatticeDescriptor, f: np.ndarray) -> np.ndarray:
+    """Project a distribution field to the M-vector field (Eqs. 1-3, 8).
+
+    ``m[0] = rho``, ``m[1:1+D] = rho*u``, remaining slots hold the distinct
+    components of the Hermite second moment ``Pi``.
+    """
+    return np.einsum("mq,q...->m...", lat.moment_matrix, f)
+
+
+def f_from_moments(lat: LatticeDescriptor, m: np.ndarray) -> np.ndarray:
+    """Reconstruct a regularized distribution field from moments (Eq. 11).
+
+    Only exact for states whose information content is limited to the first
+    three moment sets — i.e. post-collision states of the projective scheme,
+    or any state built from Eq. 11. This is the 'lossless compression' at
+    the heart of the moment representation.
+    """
+    return np.einsum("qm,m...->q...", lat.reconstruction_matrix, m)
+
+
+def split_moments(lat: LatticeDescriptor, m: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Views ``(rho, j, pi_cols)`` of an M-vector field."""
+    d = lat.d
+    return m[0], m[1:1 + d], m[1 + d:]
+
+
+def pack_moments(lat: LatticeDescriptor, rho: np.ndarray, j: np.ndarray,
+                 pi_cols: np.ndarray) -> np.ndarray:
+    """Assemble an M-vector field from its blocks (copies)."""
+    rho = np.asarray(rho, dtype=np.float64)
+    m = np.empty((lat.n_moments, *rho.shape), dtype=np.float64)
+    m[0] = rho
+    m[1:1 + lat.d] = j
+    m[1 + lat.d:] = pi_cols
+    return m
+
+
+def velocity_from_moments(lat: LatticeDescriptor, m: np.ndarray) -> np.ndarray:
+    """Velocity field ``u = j / rho`` from an M-vector field."""
+    return m[1:1 + lat.d] / m[0]
+
+
+def pi_cols_from_tensor(lat: LatticeDescriptor, pi: np.ndarray) -> np.ndarray:
+    """Compress a symmetric ``(D, D, *grid)`` tensor field to distinct columns."""
+    return np.stack([pi[a, b] for a, b in lat.pair_tuples], axis=0)
+
+
+def pi_tensor_from_cols(lat: LatticeDescriptor, cols: np.ndarray) -> np.ndarray:
+    """Expand distinct columns back to a full symmetric tensor field."""
+    d = lat.d
+    pi = np.empty((d, d, *cols.shape[1:]), dtype=cols.dtype)
+    for k, (a, b) in enumerate(lat.pair_tuples):
+        pi[a, b] = cols[k]
+        if a != b:
+            pi[b, a] = cols[k]
+    return pi
+
+
+def second_moment_cols(lat: LatticeDescriptor, f: np.ndarray) -> np.ndarray:
+    """Distinct components of ``Pi = sum_i H2_i f_i`` (Eq. 3) directly from f."""
+    return np.einsum("qt,q...->t...", lat.h2_cols, f)

@@ -1,0 +1,71 @@
+"""Streaming (propagation) of distribution fields.
+
+Exact streaming advances each distribution component one lattice link per
+timestep (paper Eq. 7). On periodic domains this is a per-component
+``np.roll``. The *push* (collide-then-stream, Algorithm 2) and *pull*
+(stream-then-collide, Algorithm 1) orderings use the same displacement; the
+distinction matters for fused GPU kernels (memory traffic and in-place
+safety), which is exactly what :mod:`repro.gpu` models, not for the
+physics. This module provides both orientations explicitly so solver code
+reads like the corresponding algorithm in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import LatticeDescriptor
+
+__all__ = [
+    "stream_push",
+    "stream_pull",
+    "pull_gather",
+    "streaming_offsets",
+]
+
+
+def streaming_offsets(lat: LatticeDescriptor) -> np.ndarray:
+    """Integer displacement per component, shape ``(Q, D)`` (alias of ``c``)."""
+    return lat.c
+
+
+def stream_push(lat: LatticeDescriptor, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Push streaming on a periodic grid: ``f_new(x + c_i) = f(x)``.
+
+    Boundary conditions replace the periodic wrap-around values afterwards
+    (all solvers in this package keep a one-node solid/boundary frame or
+    explicitly fix the boundary populations post-stream).
+    """
+    grid_axes = tuple(range(f.ndim - 1))  # axes of a single component f[i]
+    if out is None:
+        out = np.empty_like(f)
+    for i in range(lat.q):
+        out[i] = np.roll(f[i], shift=tuple(lat.c[i]), axis=grid_axes)
+    return out
+
+
+def stream_pull(lat: LatticeDescriptor, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Pull streaming on a periodic grid: ``f_new(x) = f(x - c_i)``.
+
+    Identical displacement to :func:`stream_push`; kept separate so the ST
+    solver mirrors Algorithm 1 line-for-line.
+    """
+    return stream_push(lat, f, out)
+
+
+def pull_gather(lat: LatticeDescriptor, f: np.ndarray, node_index: tuple[np.ndarray, ...]) -> np.ndarray:
+    """Gather the pulled populations for a set of nodes (Algorithm 1 lines 4-10).
+
+    ``node_index`` is a tuple of coordinate arrays (one per dimension); the
+    result has shape ``(Q, n_nodes)`` with ``result[i] = f[i][x - c_i]``
+    under periodic wrap. Used by the virtual-GPU ST kernel, where each GPU
+    thread performs exactly this gather.
+    """
+    shape = f.shape[1:]
+    gathered = np.empty((lat.q, node_index[0].size), dtype=f.dtype)
+    for i in range(lat.q):
+        src = tuple(
+            (node_index[a] - lat.c[i, a]) % shape[a] for a in range(lat.d)
+        )
+        gathered[i] = f[i][src]
+    return gathered

@@ -1,0 +1,27 @@
+"""Domains, node classifications and standard benchmark geometries."""
+
+from .domain import (
+    FLUID,
+    INLET,
+    OUTLET,
+    SOLID,
+    Domain,
+    channel_2d,
+    channel_3d,
+    cylinder_in_channel,
+    lid_driven_cavity,
+    periodic_box,
+)
+
+__all__ = [
+    "FLUID",
+    "SOLID",
+    "INLET",
+    "OUTLET",
+    "Domain",
+    "periodic_box",
+    "channel_2d",
+    "channel_3d",
+    "lid_driven_cavity",
+    "cylinder_in_channel",
+]

@@ -1,0 +1,49 @@
+"""Virtual-GPU substrate: devices, memory tracking, kernels, occupancy.
+
+This package stands in for the CUDA/HIP + V100/MI100 testbed of the paper
+(see DESIGN.md, "Hardware substitution"): kernels are executed
+block-by-block on the host with explicit shared-memory arrays, and all
+global-memory accesses are counted at 32-byte-sector granularity, giving
+profiler-style traffic measurements from real executions of Algorithms 1
+and 2.
+"""
+
+from .banks import conflict_degree, mr_ring_conflicts, warp_conflict_profile
+from .device import MI100, V100, GPUDevice, available_devices, get_device
+from .kernels import (
+    AAKernel,
+    KernelProblem,
+    MRKernel,
+    STIndirectKernel,
+    STKernel,
+    STPushKernel,
+    default_tile,
+)
+from .launch import LaunchConfig, LaunchStats, Occupancy, occupancy, validate_launch
+from .memory import GlobalArray, MemoryTracker, TrafficReport
+
+__all__ = [
+    "GPUDevice",
+    "V100",
+    "MI100",
+    "get_device",
+    "available_devices",
+    "MemoryTracker",
+    "GlobalArray",
+    "TrafficReport",
+    "LaunchConfig",
+    "LaunchStats",
+    "Occupancy",
+    "occupancy",
+    "validate_launch",
+    "KernelProblem",
+    "STKernel",
+    "STPushKernel",
+    "STIndirectKernel",
+    "AAKernel",
+    "MRKernel",
+    "default_tile",
+    "conflict_degree",
+    "warp_conflict_profile",
+    "mr_ring_conflicts",
+]

@@ -1,0 +1,90 @@
+"""Shared-memory bank-conflict analysis.
+
+GPU shared memory is divided into banks (32 four-byte banks on Volta; 32
+on CDNA); when multiple lanes of a warp address different words in the
+same bank, the access serializes. The MR column kernel's shared-memory
+streaming array (``tile x (w_t+2) x Q`` doubles, Section 3.2) is accessed
+with per-lane offsets that depend on the layout, so this module provides
+the standard conflict estimator used to check layouts — the kind of
+analysis done with Nsight's shared-memory metrics on the real hardware.
+
+Doubles occupy two 4-byte banks; as on real NVIDIA hardware in 64-bit
+mode, a warp-wide double access is conflict-free iff the 8-byte words map
+to distinct bank *pairs*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import GPUDevice
+
+__all__ = [
+    "conflict_degree",
+    "warp_conflict_profile",
+    "mr_ring_conflicts",
+]
+
+N_BANKS = 32
+WORD_BYTES = 4
+
+
+def conflict_degree(byte_addresses: np.ndarray, n_banks: int = N_BANKS,
+                    element_bytes: int = 8) -> int:
+    """Serialization factor of one warp-wide shared-memory access.
+
+    ``byte_addresses`` holds one address per active lane, in lane order.
+    For 8-byte elements the access executes in two half-warp phases (the
+    hardware's 64-bit mode), so consecutive-double accesses by a full warp
+    are conflict-free; within each phase, the degree is the maximum number
+    of distinct elements colliding on one bank pair. Broadcasts (identical
+    addresses) do not conflict. Returns 1 for a conflict-free access.
+    """
+    addr = np.asarray(byte_addresses, dtype=np.int64).ravel()
+    if addr.size == 0:
+        return 1
+    banks_per_elem = max(element_bytes // WORD_BYTES, 1)
+    n_phases = banks_per_elem
+    phase_len = max(1, -(-addr.size // n_phases))
+    worst = 1
+    for p in range(0, addr.size, phase_len):
+        chunk = addr[p:p + phase_len]
+        words = np.unique(chunk // element_bytes)
+        group = (words * banks_per_elem) % n_banks // banks_per_elem
+        _, counts = np.unique(group, return_counts=True)
+        worst = max(worst, int(counts.max()))
+    return worst
+
+
+def warp_conflict_profile(lane_addresses: np.ndarray, warp_size: int = 32,
+                          n_banks: int = N_BANKS,
+                          element_bytes: int = 8) -> list[int]:
+    """Conflict degree per warp for a block-wide access.
+
+    ``lane_addresses`` is ordered by thread id; it is split into warps of
+    ``warp_size`` lanes and each warp analysed independently.
+    """
+    addr = np.asarray(lane_addresses, dtype=np.int64).ravel()
+    out = []
+    for start in range(0, addr.size, warp_size):
+        out.append(conflict_degree(addr[start:start + warp_size],
+                                   n_banks, element_bytes))
+    return out
+
+
+def mr_ring_conflicts(tile_cross: tuple[int, ...], w_t: int, q: int,
+                      component: int, device: GPUDevice) -> list[int]:
+    """Conflict profile of the MR kernel's component-scatter writes.
+
+    Models the layout used by :class:`repro.gpu.kernels.MRKernel`: the
+    ring is ``[tile_flat][slot][component]`` with the component index
+    fastest. During the streaming scatter, consecutive threads (adjacent
+    ``x``) write the *same* component of adjacent tile nodes — a stride of
+    ``(w_t + 2) * q`` doubles. The profile shows how benign (or not) that
+    stride is for a given lattice.
+    """
+    n_tile = int(np.prod(tile_cross))
+    stride = (w_t + 2) * q                     # doubles between x-neighbours
+    lanes = np.arange(min(n_tile, device.warp_size * 4))
+    addresses = (lanes * stride + component) * 8
+    return warp_conflict_profile(addresses, device.warp_size)

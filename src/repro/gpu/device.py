@@ -1,0 +1,116 @@
+"""GPU device models (paper Table 1).
+
+The evaluation targets two devices, the NVIDIA (Volta) V100 and the AMD
+(CDNA) MI100; the numbers below are the paper's Table 1 values plus the
+public FP64 peak rates used by the performance model. The virtual-GPU
+executor uses the shared-memory capacity and thread limits to validate
+kernel launches and compute occupancy; the performance model uses the
+bandwidth and FLOP peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUDevice", "V100", "MI100", "get_device", "available_devices"]
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """Static description of a GPU accelerator."""
+
+    name: str
+    vendor: str
+    frequency_mhz: float
+    cores: int                      # CUDA / HIP (stream) cores
+    sm_count: int                   # SMs (NVIDIA) or CUs (AMD)
+    shared_mem_per_sm_kb: float     # shared memory / LDS capacity per SM/CU
+    max_shared_mem_per_block_kb: float
+    l1_kb: float
+    l2_kb: float
+    memory_gb: float
+    bandwidth_gbs: float            # peak HBM2 bandwidth
+    fp64_tflops: float              # peak double-precision throughput
+    warp_size: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    compiler: str
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+    @property
+    def fp64_flops_per_s(self) -> float:
+        return self.fp64_tflops * 1e12
+
+    @property
+    def shared_mem_per_sm_bytes(self) -> int:
+        return int(self.shared_mem_per_sm_kb * 1024)
+
+    @property
+    def max_shared_mem_per_block_bytes(self) -> int:
+        return int(self.max_shared_mem_per_block_kb * 1024)
+
+    def memory_bytes(self) -> int:
+        return int(self.memory_gb * 1024 ** 3)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.vendor}, {self.sm_count} SM/CU, {self.bandwidth_gbs} GB/s)"
+
+
+#: NVIDIA Volta V100, SXM2 16 GB (paper Table 1 + public FP64 peak).
+V100 = GPUDevice(
+    name="V100",
+    vendor="NVIDIA",
+    frequency_mhz=1455.0,
+    cores=5120,
+    sm_count=80,
+    shared_mem_per_sm_kb=96.0,      # up to 96 KB per SM (configurable carveout)
+    max_shared_mem_per_block_kb=96.0,
+    l1_kb=96.0,
+    l2_kb=6144.0,
+    memory_gb=16.0,
+    bandwidth_gbs=900.0,
+    fp64_tflops=7.8,
+    warp_size=32,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    compiler="nvcc v11.0.221",
+)
+
+#: AMD CDNA MI100, 32 GB (paper Table 1 + public FP64 peak).
+MI100 = GPUDevice(
+    name="MI100",
+    vendor="AMD",
+    frequency_mhz=1502.0,
+    cores=7680,
+    sm_count=120,
+    shared_mem_per_sm_kb=64.0,      # LDS per CU
+    max_shared_mem_per_block_kb=64.0,
+    l1_kb=16.0,
+    l2_kb=8192.0,
+    memory_gb=32.0,
+    bandwidth_gbs=1228.86,
+    fp64_tflops=11.5,
+    warp_size=64,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2560,
+    compiler="hipcc 4.2",
+)
+
+_DEVICES = {"V100": V100, "MI100": MI100}
+
+
+def get_device(name: str) -> GPUDevice:
+    """Look up a device model by name (case-insensitive)."""
+    try:
+        return _DEVICES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; available: {sorted(_DEVICES)}"
+        ) from None
+
+
+def available_devices() -> list[str]:
+    return sorted(_DEVICES)

@@ -1,0 +1,11 @@
+"""Virtual-GPU LBM kernels (ST pull kernel, MR column kernels)."""
+
+from .aa import AAKernel
+from .indirect import STIndirectKernel
+from .moment import MRKernel, default_tile
+from .problem import KernelProblem
+from .standard import STKernel
+from .standard_push import STPushKernel
+
+__all__ = ["KernelProblem", "STKernel", "STPushKernel", "STIndirectKernel",
+           "AAKernel", "MRKernel", "default_tile"]

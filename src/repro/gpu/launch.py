@@ -1,0 +1,113 @@
+"""Kernel-launch bookkeeping: configuration validation and occupancy.
+
+The paper's MR implementation notes that "optimal performance is achieved
+with two or more thread blocks per SM, so the targeted tile size and shared
+memory usage per column must be adjusted to account for this" (Section
+3.2). :func:`occupancy` reproduces the standard shared-memory/thread-count
+occupancy calculation that drives this tuning rule, and
+:class:`LaunchStats` is what every virtual-GPU launch returns to the
+performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .device import GPUDevice
+from .memory import TrafficReport
+
+__all__ = ["LaunchConfig", "Occupancy", "LaunchStats", "occupancy", "validate_launch"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Static launch geometry of a kernel."""
+
+    blocks: int
+    threads_per_block: int
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0 or self.threads_per_block <= 0:
+            raise ValueError("blocks and threads_per_block must be positive")
+        if self.shared_bytes_per_block < 0:
+            raise ValueError("shared memory size cannot be negative")
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy of a launch on a specific device."""
+
+    blocks_per_sm: int
+    limited_by: str            # "shared_memory" | "threads" | "block_cap"
+    active_blocks: int         # concurrently resident blocks device-wide
+    waves: int                 # number of full device waves
+    tail_utilization: float    # blocks / (waves * capacity), in (0, 1]
+
+    @property
+    def meets_two_block_rule(self) -> bool:
+        """The paper's >= 2 blocks/SM tuning rule."""
+        return self.blocks_per_sm >= 2
+
+
+# Hardware cap on resident blocks per SM (32 on Volta, 40+ on CDNA; the
+# LBM kernels are nowhere near it, so a common conservative cap is fine).
+_MAX_BLOCKS_PER_SM = 32
+
+
+def occupancy(device: GPUDevice, config: LaunchConfig) -> Occupancy:
+    """Occupancy from the shared-memory and thread-count limits."""
+    limits = {
+        "threads": device.max_threads_per_sm // config.threads_per_block,
+        "block_cap": _MAX_BLOCKS_PER_SM,
+    }
+    if config.shared_bytes_per_block > 0:
+        limits["shared_memory"] = (
+            device.shared_mem_per_sm_bytes // config.shared_bytes_per_block
+        )
+    blocks_per_sm = min(limits.values())
+    limited_by = min(limits, key=lambda k: limits[k])
+    if blocks_per_sm == 0:
+        raise ValueError(
+            f"kernel cannot run on {device.name}: per-block resources exceed "
+            f"the SM limits ({config.threads_per_block} threads, "
+            f"{config.shared_bytes_per_block} B shared)"
+        )
+    capacity = blocks_per_sm * device.sm_count
+    active = min(config.blocks, capacity)
+    waves = max(1, math.ceil(config.blocks / capacity))
+    tail = config.blocks / (waves * capacity)
+    return Occupancy(blocks_per_sm, limited_by, active, waves, tail)
+
+
+def validate_launch(device: GPUDevice, config: LaunchConfig) -> None:
+    """Raise if the launch violates hard per-block device limits."""
+    if config.threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"{config.threads_per_block} threads/block exceeds "
+            f"{device.name}'s limit of {device.max_threads_per_block}"
+        )
+    if config.shared_bytes_per_block > device.max_shared_mem_per_block_bytes:
+        raise ValueError(
+            f"{config.shared_bytes_per_block} B of shared memory per block "
+            f"exceeds {device.name}'s limit of "
+            f"{device.max_shared_mem_per_block_bytes} B"
+        )
+
+
+@dataclass
+class LaunchStats:
+    """Everything a virtual-GPU launch reports to the performance model."""
+
+    config: LaunchConfig
+    traffic: TrafficReport
+    n_nodes: int                   # fluid lattice nodes updated
+    flops: float = 0.0             # estimated double-precision operations
+    kernel_name: str = ""
+
+    def bytes_per_node(self) -> float:
+        return self.traffic.total_bytes / self.n_nodes
+
+    def flops_per_node(self) -> float:
+        return self.flops / self.n_nodes

@@ -1,0 +1,226 @@
+"""Global-memory model with transaction-level traffic accounting.
+
+The virtual GPU's global memory is a set of named linear ``float64``
+arrays. Every kernel access goes through :class:`GlobalArray` so that the
+:class:`MemoryTracker` can count
+
+* logical bytes moved (``8 * n_indices``), and
+* 32-byte *sector transactions*, computed from the set of distinct sectors
+  an access touches — the same quantity the NVIDIA (``nvprof``/Nsight) and
+  AMD (``rocprof``) profilers report and that the paper's Table 4
+  bandwidth measurements are based on.
+
+Sector counting is done per access call (one call = one block-wide
+load/store phase), which models an L2 that captures intra-block overlap
+but not inter-block reuse — adequate for the streaming-dominated LBM
+kernels where inter-block reuse is limited to one-node halos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MemoryTracker", "GlobalArray", "TrafficReport"]
+
+SECTOR_BYTES = 32
+ITEM_BYTES = 8  # float64 everywhere, as in the paper
+
+
+@dataclass
+class TrafficReport:
+    """Aggregated traffic counters for one or more kernel launches."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_transactions: int = 0
+    write_transactions: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def sector_bytes_read(self) -> int:
+        """Bytes actually moved from DRAM, assuming whole-sector fetches."""
+        return self.read_transactions * SECTOR_BYTES
+
+    @property
+    def sector_bytes_written(self) -> int:
+        return self.write_transactions * SECTOR_BYTES
+
+    @property
+    def sector_bytes_total(self) -> int:
+        return self.sector_bytes_read + self.sector_bytes_written
+
+    def __add__(self, other: "TrafficReport") -> "TrafficReport":
+        return TrafficReport(
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+            self.read_transactions + other.read_transactions,
+            self.write_transactions + other.write_transactions,
+        )
+
+    def per_node(self, n_nodes: int) -> dict[str, float]:
+        """Traffic normalized per lattice node (the B/F of paper Table 2)."""
+        return {
+            "bytes_read": self.bytes_read / n_nodes,
+            "bytes_written": self.bytes_written / n_nodes,
+            "bytes_total": self.total_bytes / n_nodes,
+            "sector_bytes_total": self.sector_bytes_total / n_nodes,
+        }
+
+
+class _LRUCache:
+    """Sector-granular LRU standing in for the device L2 cache."""
+
+    def __init__(self, capacity_sectors: int):
+        from collections import OrderedDict
+
+        self.capacity = int(capacity_sectors)
+        self._entries: "OrderedDict[tuple, None]" = OrderedDict()
+
+    def access(self, keys: list) -> int:
+        """Touch sectors; returns the number of misses."""
+        entries = self._entries
+        misses = 0
+        for key in keys:
+            if key in entries:
+                entries.move_to_end(key)
+            else:
+                misses += 1
+                entries[key] = None
+                if len(entries) > self.capacity:
+                    entries.popitem(last=False)
+        return misses
+
+    def insert(self, keys: list) -> None:
+        """Fill sectors without counting misses (write allocation)."""
+        entries = self._entries
+        for key in keys:
+            if key in entries:
+                entries.move_to_end(key)
+            else:
+                entries[key] = None
+                if len(entries) > self.capacity:
+                    entries.popitem(last=False)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+
+class MemoryTracker:
+    """Counts traffic for all :class:`GlobalArray` objects bound to it.
+
+    With ``l2_bytes`` set, reads are filtered through a sector-granular LRU
+    cache and ``read_transactions`` counts only DRAM fetches (misses) —
+    modelling the device L2 that lets neighbouring MR columns share their
+    halo moment reads and ST warps share misaligned sectors. Writes always
+    count as DRAM traffic (every dirty sector drains exactly once in the
+    streaming LBM access pattern) but do allocate in the cache.
+
+    Call :meth:`flush_cache` at the start of each timestep: the paper's
+    working sets (tens of millions of nodes) are far larger than any L2, so
+    inter-step reuse is impossible on the real device and must not be
+    credited when measuring traffic on reduced grids.
+    """
+
+    def __init__(self, l2_bytes: int | None = None) -> None:
+        self.report = TrafficReport()
+        self.enabled = True
+        self.cache = _LRUCache(l2_bytes // SECTOR_BYTES) if l2_bytes else None
+
+    def reset(self) -> TrafficReport:
+        """Reset counters, returning the report accumulated so far."""
+        old = self.report
+        self.report = TrafficReport()
+        return old
+
+    def flush_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.flush()
+
+    def record(self, byte_offsets: np.ndarray, kind: str, space: int = 0,
+               item_bytes: int = ITEM_BYTES) -> None:
+        if not self.enabled:
+            return
+        n = int(byte_offsets.size)
+        sector_ids = np.unique(byte_offsets // SECTOR_BYTES)
+        sectors = int(sector_ids.size)
+        if kind == "read":
+            self.report.bytes_read += n * item_bytes
+            if self.cache is not None:
+                sectors = self.cache.access([(space, int(s)) for s in sector_ids])
+            self.report.read_transactions += sectors
+        elif kind == "write":
+            self.report.bytes_written += n * item_bytes
+            self.report.write_transactions += sectors
+            if self.cache is not None:
+                self.cache.insert([(space, int(s)) for s in sector_ids])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown access kind {kind!r}")
+
+
+class GlobalArray:
+    """A linear array in virtual-GPU global memory (float64 by default).
+
+    ``base`` is an element offset added to every access — the moment-array
+    circular shifting (Dethier et al. 2011) uses it to displace reads and
+    writes without copying, exactly like the CUDA/HIP implementations
+    offset their base pointers. ``itemsize`` (bytes per element) supports
+    compact auxiliary arrays such as uint8 node-type grids for complex
+    geometries; values are still held as float64 on the host, only the
+    traffic accounting changes.
+    """
+
+    def __init__(self, name: str, size: int, tracker: MemoryTracker,
+                 init: np.ndarray | None = None, itemsize: int = ITEM_BYTES):
+        self.name = name
+        self.size = int(size)
+        self.tracker = tracker
+        if itemsize <= 0:
+            raise ValueError(f"itemsize must be positive, got {itemsize}")
+        self.itemsize = int(itemsize)
+        self.data = np.zeros(self.size, dtype=np.float64)
+        if init is not None:
+            init = np.asarray(init, dtype=np.float64).ravel()
+            if init.size > self.size:
+                raise ValueError(
+                    f"initializer ({init.size}) larger than array ({self.size})"
+                )
+            self.data[: init.size] = init
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.itemsize
+
+    def _offsets(self, idx: np.ndarray, base: int) -> np.ndarray:
+        flat = (np.asarray(idx, dtype=np.int64).ravel() + base) % self.size
+        return flat
+
+    def read(self, idx: np.ndarray, base: int = 0) -> np.ndarray:
+        """Gather values at ``(idx + base) mod size``; counts one block-wide
+        read access."""
+        flat = self._offsets(idx, base)
+        self.tracker.record(flat * self.itemsize, "read", space=id(self),
+                            item_bytes=self.itemsize)
+        return self.data[flat].reshape(np.shape(idx))
+
+    def write(self, idx: np.ndarray, values: np.ndarray, base: int = 0) -> None:
+        """Scatter values to ``(idx + base) mod size``; counts one block-wide
+        write access."""
+        flat = self._offsets(idx, base)
+        vals = np.asarray(values, dtype=np.float64).ravel()
+        if vals.size != flat.size:
+            raise ValueError(
+                f"value count {vals.size} does not match index count {flat.size}"
+            )
+        self.tracker.record(flat * self.itemsize, "write", space=id(self),
+                            item_bytes=self.itemsize)
+        self.data[flat] = vals
+
+    def read_untracked(self) -> np.ndarray:
+        """Host-side copy of the whole array (device-to-host transfer;
+        not part of kernel traffic)."""
+        return self.data.copy()

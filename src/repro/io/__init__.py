@@ -1,0 +1,12 @@
+"""Snapshot and checkpoint I/O."""
+
+from .checkpoint import restore_checkpoint, save_checkpoint
+from .snapshots import load_fields, save_fields, write_vtk
+
+__all__ = [
+    "save_fields",
+    "load_fields",
+    "write_vtk",
+    "save_checkpoint",
+    "restore_checkpoint",
+]

@@ -1,0 +1,72 @@
+"""Simulation snapshot output: compressed NumPy archives and legacy VTK.
+
+The npz writer is the native round-trippable format (used by the
+checkpoint machinery); the VTK legacy writer produces STRUCTURED_POINTS
+files loadable by ParaView/VisIt for the examples.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_fields", "load_fields", "write_vtk"]
+
+
+def save_fields(path: str | Path, rho: np.ndarray, u: np.ndarray,
+                time: int = 0, **extra: np.ndarray) -> Path:
+    """Save macroscopic fields (plus arbitrary extras) to an ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, rho=rho, u=u, time=np.asarray(time), **extra)
+    return path
+
+
+def load_fields(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a snapshot written by :func:`save_fields`."""
+    with np.load(Path(path)) as data:
+        return {k: data[k] for k in data.files}
+
+
+def write_vtk(path: str | Path, rho: np.ndarray, u: np.ndarray,
+              title: str = "repro LBM snapshot") -> Path:
+    """Write macroscopic fields as a legacy-VTK STRUCTURED_POINTS file.
+
+    Handles 2D (written as a one-cell-thick 3D grid) and 3D fields; data
+    are emitted in the x-fastest order VTK expects.
+    """
+    rho = np.asarray(rho)
+    u = np.asarray(u)
+    d = rho.ndim
+    if d not in (2, 3):
+        raise ValueError(f"rho must be 2D or 3D, got {d}D")
+    if u.shape != (d, *rho.shape):
+        raise ValueError(f"u must have shape {(d, *rho.shape)}, got {u.shape}")
+    dims = rho.shape + (1,) * (3 - d)
+    n = rho.size
+
+    buf = io.StringIO()
+    buf.write("# vtk DataFile Version 3.0\n")
+    buf.write(title[:255] + "\n")
+    buf.write("ASCII\nDATASET STRUCTURED_POINTS\n")
+    buf.write(f"DIMENSIONS {dims[0]} {dims[1]} {dims[2]}\n")
+    buf.write("ORIGIN 0 0 0\nSPACING 1 1 1\n")
+    buf.write(f"POINT_DATA {n}\n")
+
+    buf.write("SCALARS density double 1\nLOOKUP_TABLE default\n")
+    for v in rho.ravel(order="F"):
+        buf.write(f"{v:.10g}\n")
+
+    buf.write("VECTORS velocity double\n")
+    ux = u[0].ravel(order="F")
+    uy = u[1].ravel(order="F")
+    uz = u[2].ravel(order="F") if d == 3 else np.zeros(n)
+    for a, b, c in zip(ux, uy, uz):
+        buf.write(f"{a:.10g} {b:.10g} {c:.10g}\n")
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(buf.getvalue())
+    return path

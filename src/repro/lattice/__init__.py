@@ -1,0 +1,38 @@
+"""Lattice velocity sets, Hermite tensors and moment-space metadata."""
+
+from .descriptor import LatticeDescriptor, build_descriptor
+from .hermite import (
+    distinct_index_tuples,
+    distinct_tensor_columns,
+    hermite_tensors,
+    index_multiplicity,
+    symmetric_contraction_weights,
+)
+from .sets import (
+    D1Q3,
+    D2Q9,
+    D3Q15,
+    D3Q19,
+    D3Q27,
+    D3Q39,
+    available_lattices,
+    get_lattice,
+)
+
+__all__ = [
+    "LatticeDescriptor",
+    "build_descriptor",
+    "hermite_tensors",
+    "distinct_index_tuples",
+    "distinct_tensor_columns",
+    "index_multiplicity",
+    "symmetric_contraction_weights",
+    "get_lattice",
+    "available_lattices",
+    "D1Q3",
+    "D2Q9",
+    "D3Q15",
+    "D3Q19",
+    "D3Q27",
+    "D3Q39",
+]

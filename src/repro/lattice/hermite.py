@@ -1,0 +1,162 @@
+"""Discrete Hermite polynomial tensors on lattice velocity sets.
+
+The lattice Boltzmann moment machinery in the paper is phrased in terms of
+(discrete) Hermite polynomial tensors :math:`\\mathcal{H}^{(n)}` evaluated at
+the lattice velocities :math:`\\mathbf{c}_i` (paper Eqs. 1-3, 8, 11, 14).
+This module builds those tensors for arbitrary dimension and order with the
+standard recurrence
+
+.. math::
+
+    \\mathcal{H}^{(n+1)}_{\\alpha a_1..a_n}
+        = c_\\alpha \\mathcal{H}^{(n)}_{a_1..a_n}
+        - c_s^2 \\sum_{k=1}^{n} \\delta_{\\alpha a_k}
+              \\mathcal{H}^{(n-1)}_{a_1..\\hat{a}_k..a_n},
+
+which yields, explicitly,
+
+* ``H0 = 1``
+* ``H1_a = c_a``
+* ``H2_ab = c_a c_b - cs2 δ_ab``
+* ``H3_abc = c_a c_b c_c - cs2 (c_a δ_bc + c_b δ_ac + c_c δ_ab)``
+* ``H4_abcd = c_a c_b c_c c_d - cs2 (six δ-contracted terms)
+  + cs2^2 (δ_ab δ_cd + δ_ac δ_bd + δ_ad δ_bc)``.
+
+Because symmetric tensors are fully described by their distinct index
+multi-sets, the module also provides the distinct-component bookkeeping
+(multi-sets, multinomial multiplicities) used to store third/fourth-order
+moments compactly in the recursive-regularization code paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "hermite_tensors",
+    "distinct_index_tuples",
+    "index_multiplicity",
+    "distinct_tensor_columns",
+    "symmetric_contraction_weights",
+]
+
+
+def hermite_tensors(c: np.ndarray, cs2: float, max_order: int) -> list[np.ndarray]:
+    """Build discrete Hermite tensors ``H0..H<max_order>`` for velocities ``c``.
+
+    Parameters
+    ----------
+    c:
+        Integer (or float) array of shape ``(Q, D)`` with one discrete
+        velocity per row.
+    cs2:
+        Squared lattice speed of sound (``1/3`` for the standard
+        single-speed lattices used in the paper).
+    max_order:
+        Highest tensor order to build (the paper needs 4 for recursive
+        regularization, Eq. 14).
+
+    Returns
+    -------
+    list of ndarray
+        ``tensors[n]`` has shape ``(Q,) + (D,)*n`` and holds
+        :math:`\\mathcal{H}^{(n)}` evaluated at every velocity.
+    """
+    c = np.asarray(c, dtype=np.float64)
+    if c.ndim != 2:
+        raise ValueError(f"velocity array must be 2D (Q, D), got shape {c.shape}")
+    if max_order < 0:
+        raise ValueError(f"max_order must be >= 0, got {max_order}")
+    q, d = c.shape
+    eye = np.eye(d)
+
+    tensors: list[np.ndarray] = [np.ones(q)]
+    if max_order == 0:
+        return tensors
+    tensors.append(c.copy())
+
+    for n in range(1, max_order):
+        prev = tensors[n]          # (Q, D^n)
+        prev2 = tensors[n - 1]     # (Q, D^(n-1))
+        # c_alpha * H^(n): new leading axis alpha.
+        nxt = np.einsum("qa,q...->qa...", c, prev)
+        # Subtract cs2 * sum_k delta(alpha, a_k) H^(n-1) without index a_k.
+        for k in range(n):
+            # prev2 axes correspond to (a_1..a_{k}..a_{n-1}) after removing
+            # a_k from (a_1..a_n); re-insert a delta on (alpha, a_k).
+            # Build term with axes (q, alpha, a_1, ..., a_n).
+            # prev2 has axes (q, b_1..b_{n-1}); we map b_j -> a_j for j<k and
+            # b_j -> a_{j+1} for j>=k, then multiply by delta(alpha, a_k).
+            term = np.einsum("q...,ax->qa...x", prev2, eye)
+            # term axes: (q, alpha, b_1..b_{n-1}, a_k). Move a_k into slot k.
+            term = np.moveaxis(term, -1, 2 + k)
+            nxt = nxt - cs2 * term
+        tensors.append(nxt)
+    return tensors
+
+
+def distinct_index_tuples(d: int, order: int) -> list[tuple[int, ...]]:
+    """Sorted distinct index multi-sets of a symmetric tensor.
+
+    For ``d=2, order=2`` this returns ``[(0,0), (0,1), (1,1)]`` — i.e. the
+    (xx, xy, yy) layout used for the second-order moment block of the
+    moment vector throughout the package.
+    """
+    if order == 0:
+        return [()]
+    return list(itertools.combinations_with_replacement(range(d), order))
+
+
+def index_multiplicity(idx: Sequence[int]) -> int:
+    """Number of distinct permutations of the index multi-set ``idx``.
+
+    This is the multinomial coefficient ``n! / prod(counts!)``; it converts
+    sums over distinct components into full symmetric-tensor contractions
+    (e.g. the factor 3 on ``a_xxy`` terms and 6 on ``a_xyz`` in Eq. 14).
+    """
+    n = len(idx)
+    counts: dict[int, int] = {}
+    for i in idx:
+        counts[i] = counts.get(i, 0) + 1
+    mult = math.factorial(n)
+    for cnt in counts.values():
+        mult //= math.factorial(cnt)
+    return mult
+
+
+def distinct_tensor_columns(tensor: np.ndarray) -> tuple[np.ndarray, list[tuple[int, ...]], np.ndarray]:
+    """Compress a symmetric ``(Q, D, .., D)`` tensor to distinct columns.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(Q, n_distinct)`` with one column per distinct
+        index multi-set (sorted, combinations-with-replacement order).
+    idx_tuples:
+        The multi-sets, in column order.
+    mults:
+        Integer multiplicities (permutation counts) per column.
+    """
+    if tensor.ndim < 1:
+        raise ValueError("tensor must have at least the Q axis")
+    order = tensor.ndim - 1
+    if order == 0:
+        return tensor.reshape(-1, 1), [()], np.array([1])
+    d = tensor.shape[1]
+    tuples = distinct_index_tuples(d, order)
+    cols = np.stack([tensor[(slice(None), *t)] for t in tuples], axis=1)
+    mults = np.array([index_multiplicity(t) for t in tuples], dtype=np.int64)
+    return cols, tuples, mults
+
+
+def symmetric_contraction_weights(d: int, order: int) -> np.ndarray:
+    """Multiplicity weights so that a full symmetric contraction
+    ``sum_{a1..an} A B`` equals ``sum_{distinct} w * A B``."""
+    return np.array(
+        [index_multiplicity(t) for t in distinct_index_tuples(d, order)],
+        dtype=np.float64,
+    )

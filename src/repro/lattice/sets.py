@@ -1,0 +1,136 @@
+"""Standard single-speed lattice velocity sets.
+
+The paper evaluates the two most common single-speed lattices, D2Q9 and
+D3Q19 (Section 4), and names single-speed D3Q27 as future work (Section 5).
+We provide all of these plus D1Q3 (useful for unit tests) and D3Q15, each
+with the classical Qian-d'Humieres-Lallemand weights and ``cs2 = 1/3``.
+
+Velocity ordering convention: rest velocity first, then axis velocities,
+then diagonals — grouped by speed shell. Within a shell the ordering is
+lexicographic; bounce-back code uses the ``opposite`` table rather than any
+positional convention, so the ordering is an implementation detail.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+import numpy as np
+
+from .descriptor import LatticeDescriptor, build_descriptor
+
+__all__ = ["get_lattice", "available_lattices", "D2Q9", "D3Q19", "D3Q27",
+           "D3Q15", "D1Q3", "D3Q39"]
+
+
+def _shells(d: int, shells: dict[int, float], keep=None) -> tuple[list[list[int]], list[float]]:
+    """Enumerate velocities by squared-speed shell with per-shell weights."""
+    velocities: list[list[int]] = []
+    weights: list[float] = []
+    for speed2 in sorted(shells):
+        for v in itertools.product((0, 1, -1), repeat=d):
+            if sum(x * x for x in v) == speed2 and (keep is None or keep(v)):
+                velocities.append(list(v))
+                weights.append(shells[speed2])
+    return velocities, weights
+
+
+def _build_d1q3() -> LatticeDescriptor:
+    c = [[0], [1], [-1]]
+    w = [2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0]
+    return build_descriptor("D1Q3", c, w)
+
+
+def _build_d2q9() -> LatticeDescriptor:
+    c, w = _shells(2, {0: 4.0 / 9.0, 1: 1.0 / 9.0, 2: 1.0 / 36.0})
+    return build_descriptor("D2Q9", c, w)
+
+
+def _build_d3q15() -> LatticeDescriptor:
+    c, w = _shells(3, {0: 2.0 / 9.0, 1: 1.0 / 9.0, 3: 1.0 / 72.0})
+    return build_descriptor("D3Q15", c, w)
+
+
+def _build_d3q19() -> LatticeDescriptor:
+    c, w = _shells(3, {0: 1.0 / 3.0, 1: 1.0 / 18.0, 2: 1.0 / 36.0})
+    return build_descriptor("D3Q19", c, w)
+
+
+def _build_d3q27() -> LatticeDescriptor:
+    c, w = _shells(3, {0: 8.0 / 27.0, 1: 2.0 / 27.0, 2: 1.0 / 54.0, 3: 1.0 / 216.0})
+    return build_descriptor("D3Q27", c, w)
+
+
+def _build_d3q39() -> LatticeDescriptor:
+    """Multi-speed D3Q39 (Shan-Yuan-Chen 2006), cs2 = 2/3.
+
+    Shells: rest; (1,0,0); (1,1,1); (2,0,0); (2,2,0); (3,0,0). The paper's
+    Section 5 names multi-speed lattices like D3Q39 as future work because
+    their B/F is usually prohibitive — which is exactly where the moment
+    representation helps most (B/F drops from 2*39*8 to 2*10*8).
+    """
+    velocities: list[list[int]] = [[0, 0, 0]]
+    weights: list[float] = [1.0 / 12.0]
+    shells = [
+        (1, (1, 0, 0), 1.0 / 12.0),
+        (3, (1, 1, 1), 1.0 / 27.0),
+        (4, (2, 0, 0), 2.0 / 135.0),
+        (8, (2, 2, 0), 1.0 / 432.0),
+        (9, (3, 0, 0), 1.0 / 1620.0),
+    ]
+    for speed2, proto, w in shells:
+        shape = sorted(abs(x) for x in proto)
+        for v in itertools.product((0, 1, -1, 2, -2, 3, -3), repeat=3):
+            if (sum(x * x for x in v) == speed2
+                    and sorted(abs(x) for x in v) == shape):
+                velocities.append(list(v))
+                weights.append(w)
+    return build_descriptor("D3Q39", velocities, weights, cs2=2.0 / 3.0)
+
+
+_BUILDERS = {
+    "D1Q3": _build_d1q3,
+    "D2Q9": _build_d2q9,
+    "D3Q15": _build_d3q15,
+    "D3Q19": _build_d3q19,
+    "D3Q27": _build_d3q27,
+    "D3Q39": _build_d3q39,
+}
+
+
+@lru_cache(maxsize=None)
+def _cached_build(key: str) -> LatticeDescriptor:
+    return _BUILDERS[key]()
+
+
+def get_lattice(name: str) -> LatticeDescriptor:
+    """Return the (cached, immutable) descriptor for a named lattice.
+
+    Lookup is case-insensitive and always returns the same singleton.
+
+    >>> lat = get_lattice("D2Q9")
+    >>> lat.q, lat.d, lat.n_moments
+    (9, 2, 6)
+    """
+    key = name.upper()
+    try:
+        return _cached_build(key)
+    except KeyError:
+        raise ValueError(
+            f"unknown lattice {name!r}; available: {sorted(_BUILDERS)}"
+        ) from None
+
+
+def available_lattices() -> list[str]:
+    """Names of all built-in lattices."""
+    return sorted(_BUILDERS)
+
+
+# Eagerly-built module-level singletons for the common lattices.
+D1Q3 = get_lattice("D1Q3")
+D2Q9 = get_lattice("D2Q9")
+D3Q15 = get_lattice("D3Q15")
+D3Q19 = get_lattice("D3Q19")
+D3Q27 = get_lattice("D3Q27")
+D3Q39 = get_lattice("D3Q39")

@@ -1,0 +1,20 @@
+"""Distributed-memory domain decomposition with halo-exchange accounting."""
+
+from .decomposition import (
+    CommunicationReport,
+    DistributedMR,
+    DistributedSolver,
+    DistributedST,
+    SlabDecomposition,
+)
+from .presets import distributed_channel_problem, distributed_periodic_problem
+
+__all__ = [
+    "CommunicationReport",
+    "SlabDecomposition",
+    "DistributedSolver",
+    "DistributedST",
+    "DistributedMR",
+    "distributed_channel_problem",
+    "distributed_periodic_problem",
+]

@@ -1,0 +1,372 @@
+"""Distributed-memory domain decomposition (multi-device substrate).
+
+The paper's lineage runs multi-GPU LBM at scale (Obrecht 2013, Robertsén
+2017, Vardhan 2019); this package provides the corresponding substrate as
+a deterministic in-process emulation: the global domain is split into
+slabs along the streamwise axis, each "rank" owns a slab plus one-node
+ghost layers, and every step performs an explicit halo exchange whose
+volume is accounted exactly.
+
+The moment representation changes the exchange payload: an ST rank must
+receive the neighbour's post-collision *populations* crossing the cut
+(5 of 19 for D3Q19 per direction, or all Q in naive implementations),
+whereas an MR rank receives the neighbour's ghost *moments* (M = 10) and
+reconstructs the crossing populations locally — trading a little
+recomputation for less network traffic, exactly the compression the paper
+exploits against DRAM.
+
+Correctness: a distributed run over any number of ranks reproduces the
+single-domain reference solver to machine precision (tested for periodic
+and channel problems, all three schemes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..boundary import Boundary, HalfwayBounceBack, Plane, PressureOutlet, VelocityInlet
+from ..core.collision import (
+    collide_moments_projective,
+    collide_moments_recursive,
+)
+from ..core.equilibrium import equilibrium, equilibrium_moments
+from ..core.moments import f_from_moments, macroscopic, moments_from_f
+from ..core.streaming import stream_pull, stream_push
+from ..geometry import Domain
+from ..lattice import LatticeDescriptor
+
+__all__ = [
+    "CommunicationReport",
+    "SlabDecomposition",
+    "DistributedSolver",
+    "DistributedST",
+    "DistributedMR",
+    "distributed_channel_problem",
+    "distributed_periodic_problem",
+]
+
+DOUBLE = 8
+
+
+@dataclass
+class CommunicationReport:
+    """Halo-exchange accounting across a whole run."""
+
+    bytes_sent: int = 0
+    messages: int = 0
+    steps: int = 0
+
+    def record(self, n_values: int) -> None:
+        self.bytes_sent += n_values * DOUBLE
+        self.messages += 1
+
+    def bytes_per_step(self) -> float:
+        return self.bytes_sent / max(self.steps, 1)
+
+
+@dataclass(frozen=True)
+class SlabDecomposition:
+    """1D decomposition of the global grid along axis 0."""
+
+    global_shape: tuple[int, ...]
+    n_ranks: int
+    periodic: bool
+
+    def __post_init__(self) -> None:
+        nx = self.global_shape[0]
+        if self.n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if nx < 3 * self.n_ranks:
+            raise ValueError(
+                f"{self.n_ranks} slabs need a global extent of at least "
+                f"{3 * self.n_ranks} along axis 0, got {nx}"
+            )
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        """Global [start, stop) of a rank's interior slab."""
+        nx = self.global_shape[0]
+        base = nx // self.n_ranks
+        rem = nx % self.n_ranks
+        start = rank * base + min(rank, rem)
+        width = base + (1 if rank < rem else 0)
+        return start, start + width
+
+    def has_left(self, rank: int) -> bool:
+        return self.periodic or rank > 0
+
+    def has_right(self, rank: int) -> bool:
+        return self.periodic or rank < self.n_ranks - 1
+
+    def left_of(self, rank: int) -> int:
+        return (rank - 1) % self.n_ranks
+
+    def right_of(self, rank: int) -> int:
+        return (rank + 1) % self.n_ranks
+
+    @property
+    def face_nodes(self) -> int:
+        out = 1
+        for s in self.global_shape[1:]:
+            out *= s
+        return out
+
+
+class _RankState:
+    """Per-rank slab arrays and local boundary conditions."""
+
+    def __init__(self, lat: LatticeDescriptor, domain_slab: Domain,
+                 boundaries: list[Boundary], tau: float,
+                 ghost_left: bool, ghost_right: bool):
+        self.lat = lat
+        self.domain = domain_slab
+        self.tau = tau
+        self.ghost_left = ghost_left
+        self.ghost_right = ghost_right
+        self.boundaries = [b.bind(lat, domain_slab, tau) for b in boundaries]
+
+    @property
+    def interior(self) -> slice:
+        lo = 1 if self.ghost_left else 0
+        hi = -1 if self.ghost_right else None
+        return slice(lo, hi)
+
+
+class DistributedSolver:
+    """Base class: slab setup, halo-exchange bookkeeping, gathering."""
+
+    scheme: str = "?"
+
+    def __init__(self, lat: LatticeDescriptor, global_domain: Domain,
+                 tau: float, n_ranks: int, periodic_axis0: bool,
+                 boundary_factory, rho0=1.0, u0: np.ndarray | None = None,
+                 force: np.ndarray | None = None,
+                 st_exchange: str = "crossing"):
+        self.lat = lat
+        self.global_domain = global_domain
+        self.tau = float(tau)
+        self.decomp = SlabDecomposition(global_domain.shape, n_ranks,
+                                        periodic_axis0)
+        self.comm = CommunicationReport()
+        self.time = 0
+        if st_exchange not in ("crossing", "full"):
+            raise ValueError("st_exchange must be 'crossing' or 'full'")
+        self.st_exchange = st_exchange
+
+        rho_g = np.broadcast_to(np.asarray(rho0, dtype=np.float64),
+                                global_domain.shape).copy()
+        u_g = (np.zeros((lat.d, *global_domain.shape)) if u0 is None
+               else np.array(u0, dtype=np.float64))
+        rho_g[global_domain.solid_mask] = 1.0
+        u_g[:, global_domain.solid_mask] = 0.0
+        if force is not None:
+            from ..core.forcing import normalize_force
+
+            force = normalize_force(lat, force, global_domain.shape)
+            force[:, global_domain.solid_mask] = 0.0
+        self.force = force
+
+        self.ranks: list[_RankState] = []
+        self._rank_slices: list[tuple[slice, slice]] = []  # (global, local int.)
+        for r in range(n_ranks):
+            start, stop = self.decomp.bounds(r)
+            gl = 1 if self.decomp.has_left(r) else 0
+            gr = 1 if self.decomp.has_right(r) else 0
+            gsl = [(start - gl + k) % global_domain.shape[0]
+                   for k in range(stop - start + gl + gr)]
+            node_type = global_domain.node_type[gsl]
+            slab = Domain(node_type)
+            state = _RankState(lat, slab, boundary_factory(r, n_ranks),
+                               tau, bool(gl), bool(gr))
+            self._init_rank_state(state, rho_g[gsl], np.stack(
+                [u_g[a][gsl] for a in range(lat.d)]))
+            if self.force is not None:
+                state.force = np.stack([self.force[a][gsl]
+                                        for a in range(lat.d)])
+            else:
+                state.force = None
+            self.ranks.append(state)
+            self._rank_slices.append((slice(start, stop), state.interior))
+
+        # Crossing component sets for ST exchanges.
+        cx = lat.c[:, 0]
+        self._right_going = np.where(cx > 0)[0]
+        self._left_going = np.where(cx < 0)[0]
+
+    # -- subclass hooks --------------------------------------------------
+    def _init_rank_state(self, state: _RankState, rho: np.ndarray,
+                         u: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    # -- common API -------------------------------------------------------
+    def run(self, n_steps: int) -> "DistributedSolver":
+        for _ in range(int(n_steps)):
+            self.step()
+            self.time += 1
+            self.comm.steps += 1
+        return self
+
+    def gather_macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the global (rho, u) fields from all ranks."""
+        rho = np.empty(self.global_domain.shape)
+        u = np.empty((self.lat.d, *self.global_domain.shape))
+        for state, (gsl, isl) in zip(self.ranks, self._rank_slices):
+            r_loc, u_loc = self._rank_macroscopic(state)
+            rho[gsl] = r_loc[isl]
+            u[:, gsl] = u_loc[:, isl]
+        return rho, u
+
+    def _rank_macroscopic(self, state: _RankState):
+        raise NotImplementedError
+
+    def communication_values_per_face(self) -> int:
+        """Doubles exchanged per cut face per step (both directions)."""
+        raise NotImplementedError
+
+
+class DistributedST(DistributedSolver):
+    """Distributed standard two-lattice solver (pull configuration).
+
+    Exchange payload per face and direction: the crossing populations
+    (``c_x`` pointing into the neighbour) of the slab's edge plane — or
+    the full Q populations in ``st_exchange='full'`` mode.
+    """
+
+    scheme = "ST"
+
+    def _init_rank_state(self, state, rho, u):
+        state.f = equilibrium(self.lat, rho, u)
+        state.scratch = np.empty_like(state.f)
+
+    def _rank_macroscopic(self, state):
+        if state.force is None:
+            return macroscopic(self.lat, state.f)
+        from ..core.forcing import half_force_velocity
+
+        rho = state.f.sum(axis=0)
+        j = np.einsum("qa,q...->a...", self.lat.c.astype(float), state.f)
+        return rho, half_force_velocity(self.lat, rho, j, state.force)
+
+    def communication_values_per_face(self) -> int:
+        per_dir = (len(self._right_going) if self.st_exchange == "crossing"
+                   else self.lat.q)
+        return 2 * per_dir * self.decomp.face_nodes
+
+    def _exchange(self) -> None:
+        lat = self.lat
+        comps_r = (self._right_going if self.st_exchange == "crossing"
+                   else np.arange(lat.q))
+        comps_l = (self._left_going if self.st_exchange == "crossing"
+                   else np.arange(lat.q))
+        for r, state in enumerate(self.ranks):
+            if self.decomp.has_right(r):
+                nb = self.ranks[self.decomp.right_of(r)]
+                # My last interior plane -> neighbour's left ghost.
+                src = -2 if state.ghost_right else -1
+                nb.f[comps_r, 0] = state.f[comps_r, src]
+                self.comm.record(comps_r.size * self.decomp.face_nodes)
+            if self.decomp.has_left(r):
+                nb = self.ranks[self.decomp.left_of(r)]
+                src = 1 if state.ghost_left else 0
+                nb.f[comps_l, -1] = state.f[comps_l, src]
+                self.comm.record(comps_l.size * self.decomp.face_nodes)
+
+    def step(self) -> None:
+        self._exchange()
+        lat = self.lat
+        for state in self.ranks:
+            stream_pull(lat, state.f, out=state.scratch)
+            for b in state.boundaries:
+                b.post_stream(lat, state.scratch, state.f)
+            if state.force is None:
+                from ..core.collision import BGKCollision
+
+                f_star = BGKCollision(self.tau)(lat, state.scratch)
+            else:
+                from ..core.equilibrium import equilibrium as _eq
+                from ..core.forcing import guo_source, half_force_velocity
+
+                f = state.scratch
+                rho = f.sum(axis=0)
+                j = np.einsum("qa,q...->a...", lat.c.astype(float), f)
+                u = half_force_velocity(lat, rho, j, state.force)
+                feq = _eq(lat, rho, u)
+                f_star = (f + (feq - f) / self.tau
+                          + guo_source(lat, u, state.force, self.tau))
+            solid = state.domain.solid_mask
+            if solid.any():
+                f_star[:, solid] = lat.w[:, None]
+            for b in state.boundaries:
+                b.post_collide(lat, f_star, state.scratch)
+            state.f, state.scratch = f_star, state.f
+
+
+class DistributedMR(DistributedSolver):
+    """Distributed moment-representation solver (MR-P or MR-R).
+
+    Exchange payload per face and direction: the M moments of the slab's
+    edge plane — the crossing populations are reconstructed on the
+    receiving rank from the exchanged moments (regularization makes this
+    exact), cutting network volume by 1 - M/(2 q_cross) vs naive-full ST
+    and trading arithmetic for bandwidth vs crossing-only ST.
+    """
+
+    def __init__(self, *args, scheme: str = "MR-P", **kwargs):
+        if scheme not in ("MR-P", "MR-R"):
+            raise ValueError(f"scheme must be MR-P or MR-R, got {scheme!r}")
+        self.scheme = scheme
+        super().__init__(*args, **kwargs)
+
+    def _init_rank_state(self, state, rho, u):
+        state.m = equilibrium_moments(self.lat, rho, u)
+        state.scratch = np.empty((self.lat.q, *state.domain.shape))
+
+    def _rank_macroscopic(self, state):
+        rho = state.m[0]
+        j = state.m[1:1 + self.lat.d]
+        if state.force is None:
+            return rho, j / rho
+        from ..core.forcing import half_force_velocity
+
+        return rho, half_force_velocity(self.lat, rho, j, state.force)
+
+    def communication_values_per_face(self) -> int:
+        return 2 * self.lat.n_moments * self.decomp.face_nodes
+
+    def _exchange(self) -> None:
+        for r, state in enumerate(self.ranks):
+            if self.decomp.has_right(r):
+                nb = self.ranks[self.decomp.right_of(r)]
+                src = -2 if state.ghost_right else -1
+                nb.m[:, 0] = state.m[:, src]
+                self.comm.record(self.lat.n_moments * self.decomp.face_nodes)
+            if self.decomp.has_left(r):
+                nb = self.ranks[self.decomp.left_of(r)]
+                src = 1 if state.ghost_left else 0
+                nb.m[:, -1] = state.m[:, src]
+                self.comm.record(self.lat.n_moments * self.decomp.face_nodes)
+
+    def step(self) -> None:
+        self._exchange()
+        lat = self.lat
+        for state in self.ranks:
+            if self.scheme == "MR-P":
+                m_star = collide_moments_projective(lat, state.m, self.tau,
+                                                    force=state.force)
+                f_star = f_from_moments(lat, m_star)
+            else:
+                f_star = collide_moments_recursive(lat, state.m, self.tau,
+                                                   force=state.force)
+            f_new = stream_push(lat, f_star, out=state.scratch)
+            for b in state.boundaries:
+                b.post_stream(lat, f_new, f_star)
+            state.m = moments_from_f(lat, f_new)
+            solid = state.domain.solid_mask
+            if solid.any():
+                state.m[:, solid] = 0.0
+                state.m[0, solid] = 1.0
+            state.scratch = f_star

@@ -1,0 +1,70 @@
+"""Distributed problem presets mirroring :mod:`repro.solver.presets`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..boundary import HalfwayBounceBack, Plane, PressureOutlet, VelocityInlet
+from ..geometry import channel_2d, channel_3d, periodic_box
+from ..lattice import LatticeDescriptor, get_lattice
+from ..solver.presets import channel_inlet_profile
+from .decomposition import DistributedMR, DistributedST, DistributedSolver
+
+__all__ = ["distributed_channel_problem", "distributed_periodic_problem"]
+
+
+def _make(scheme: str, lat, domain, tau, n_ranks, periodic, factory,
+          **kwargs) -> DistributedSolver:
+    key = scheme.upper().replace("_", "-")
+    if key == "ST":
+        return DistributedST(lat, domain, tau, n_ranks, periodic, factory,
+                             **kwargs)
+    if key in ("MR-P", "MR-R"):
+        return DistributedMR(lat, domain, tau, n_ranks, periodic, factory,
+                             scheme=key, **kwargs)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def distributed_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
+                                shape: tuple[int, ...], n_ranks: int,
+                                tau: float = 0.8, u_max: float = 0.04,
+                                bc_method: str = "nebb",
+                                **kwargs) -> DistributedSolver:
+    """The channel proxy app decomposed into streamwise slabs.
+
+    Rank 0 owns the inlet, the last rank the outlet, every rank the wall
+    bounce-back; interior cut faces carry halo exchanges.
+    """
+    lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
+    if len(shape) != lat.d:
+        raise ValueError(f"shape {shape} does not match lattice dimension {lat.d}")
+    domain = channel_2d(*shape) if lat.d == 2 else channel_3d(*shape)
+    u_in = channel_inlet_profile(lat, shape, u_max)
+
+    def factory(rank: int, total: int):
+        bcs = [HalfwayBounceBack()]
+        if rank == 0:
+            bcs.append(VelocityInlet(Plane(0, 0), u_in, method=bc_method))
+        if rank == total - 1:
+            bcs.append(PressureOutlet(Plane(0, -1), rho_out=1.0,
+                                      method=bc_method, tangential="zero"))
+        return bcs
+
+    u0 = np.zeros((lat.d, *shape))
+    u0[:] = u_in[(slice(None), None) + (slice(None),) * (lat.d - 1)]
+    return _make(scheme, lat, domain, tau, n_ranks, periodic=False,
+                 factory=factory, u0=u0, **kwargs)
+
+
+def distributed_periodic_problem(scheme: str, lattice: str | LatticeDescriptor,
+                                 shape: tuple[int, ...], n_ranks: int,
+                                 tau: float = 0.8, rho0=1.0,
+                                 u0: np.ndarray | None = None,
+                                 **kwargs) -> DistributedSolver:
+    """A fully periodic box decomposed into slabs (wrap-around exchange)."""
+    lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
+    if len(shape) != lat.d:
+        raise ValueError(f"shape {shape} does not match lattice dimension {lat.d}")
+    return _make(scheme, lat, periodic_box(shape), tau, n_ranks,
+                 periodic=True, factory=lambda r, t: [], rho0=rho0, u0=u0,
+                 **kwargs)

@@ -1,0 +1,105 @@
+"""Calibration constants for the MFLUPS performance model.
+
+Everything a first-principles simulator can produce — data movement,
+occupancy, flop counts, crossover structure — comes from measurement
+(:mod:`repro.gpu`) or algorithm analysis (:mod:`repro.perf.flops`). What
+cannot be derived without the physical hardware is how efficiently each
+vendor's memory controller and compute pipelines run a given access
+pattern. Those scalars are taken from the paper's own profiler
+measurements and are collected here, in one place, with their derivations.
+
+Bandwidth efficiency ``eff_bw[device][pattern][ndim]``
+------------------------------------------------------
+Fraction of peak DRAM bandwidth sustained by each propagation pattern,
+from Section 4.2/4.3 (e.g. "the reference ST propagation pattern reaches
+about 790 GB/s, close to the 90% of the peak" on the V100; "only 42% of
+expected performance" for MR-P D3Q19 on the MI100). Equivalently:
+``eff = MFLUPS_paper * (B/F) / peak_bandwidth``:
+
+===========  =======  ============  ==========================
+device       pattern  2D / 3D       derivation (MFLUPS x B/F)
+===========  =======  ============  ==========================
+V100         ST       .848 / .878   5300x144 / 2600x304, /900 GB/s
+V100         MR       .747 / .676   7000x96  / 3800x160, /900 GB/s
+MI100        ST       .727 / .693   6200x144 / 2800x304, /1228.86 GB/s
+MI100        MR       .672 / .417   8600x96  / 3200x160, /1228.86 GB/s
+===========  =======  ============  ==========================
+
+The paper's headline observations are encoded in these eight numbers: ST
+sustains a higher fraction of peak than MR everywhere; the MI100 sustains
+lower fractions than the V100, dramatically so for MR with D3Q19 (the
+"more mixed" AMD result).
+
+FP64 efficiency ``eff_fp[device]``
+----------------------------------
+Fraction of peak double-precision throughput sustained by the
+compute-heavy MR-R collision. Derived from the paper's D3Q19 MR-R
+penalties (3800-800=3000 MFLUPS on V100, 3200-700=2500 on MI100) and our
+counted ~1252 flops/update for MR-R/D3Q19 with 8x8 tiles:
+``3000e6 x 1252 / 7.8e12 = 0.48`` and ``2500e6 x 1252 / 11.5e12 = 0.27``.
+With these, MR-R is compute-bound only in 3D — in 2D it ties MR-P, which
+is exactly the paper's observation.
+
+Launch overhead
+---------------
+A fixed per-launch cost (kernel launch + sweep start-up); only visible at
+the small-problem end of Figures 2-3.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import GPUDevice
+
+__all__ = ["bandwidth_efficiency", "fp64_efficiency", "LAUNCH_OVERHEAD_S"]
+
+_EFF_BW: dict[str, dict[str, dict[int, float]]] = {
+    "V100": {
+        "ST": {2: 0.848, 3: 0.878},
+        "MR": {2: 0.747, 3: 0.676},
+    },
+    "MI100": {
+        "ST": {2: 0.727, 3: 0.693},
+        "MR": {2: 0.672, 3: 0.417},
+    },
+}
+
+_EFF_FP: dict[str, float] = {
+    "V100": 0.482,
+    "MI100": 0.272,
+}
+
+#: Fixed cost per kernel launch (seconds).
+LAUNCH_OVERHEAD_S = 4e-6
+
+
+def _pattern_class(scheme: str) -> str:
+    key = scheme.upper()
+    if key in ("ST", "BGK", "STANDARD"):
+        return "ST"
+    if key in ("MR", "MR-P", "MR-R", "MRP", "MRR"):
+        return "MR"
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def bandwidth_efficiency(device: GPUDevice, scheme: str, ndim: int) -> float:
+    """Calibrated fraction of peak bandwidth for (device, pattern, D)."""
+    try:
+        per_device = _EFF_BW[device.name]
+    except KeyError:
+        raise ValueError(
+            f"no bandwidth calibration for device {device.name!r}"
+        ) from None
+    pattern = _pattern_class(scheme)
+    if ndim not in (2, 3):
+        raise ValueError(f"calibration covers 2D and 3D lattices, got D={ndim}")
+    return per_device[pattern][ndim]
+
+
+def fp64_efficiency(device: GPUDevice) -> float:
+    """Calibrated fraction of peak FP64 throughput for LBM collisions."""
+    try:
+        return _EFF_FP[device.name]
+    except KeyError:
+        raise ValueError(
+            f"no FP64 calibration for device {device.name!r}"
+        ) from None

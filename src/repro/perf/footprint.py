@@ -1,0 +1,73 @@
+"""Memory-footprint model (paper Section 4.1).
+
+"The required memory by the ST models to simulate 15 million fluid points
+is about 2GB for D2Q9 simulations and 4.2GB for D3Q19 simulations, against
+the 1.3GB and 2.23GB required by the MR models ... reducing the memory
+requirements in about a 35% and 47% respectively."
+
+Both patterns keep two copies of the per-node state resident (two
+distribution lattices for ST; the moment representation stores a single
+array with a small circular-shift margin, but the roofline and footprint
+accounting in the paper — and the double-buffered variant — use ``2M``).
+The GiB figures reproduce with 1 GB = 2^30 bytes.
+"""
+
+from __future__ import annotations
+
+from ..lattice import LatticeDescriptor
+from .roofline import DOUBLE, values_per_update
+
+__all__ = [
+    "state_values_per_node",
+    "state_bytes",
+    "state_gib",
+    "memory_reduction",
+    "circular_shift_state_bytes",
+    "max_problem_size",
+]
+
+GIB = 1024 ** 3
+
+
+def state_values_per_node(lat: LatticeDescriptor, scheme: str) -> int:
+    """Resident doubles per node: ``2Q`` (ST), ``Q`` (AA-pattern), ``2M`` (MR).
+
+    The AA pattern (Bailey 2009, :class:`repro.solver.AASolver`) runs the
+    distribution representation in place on a single lattice — half the ST
+    footprint at unchanged 2Q traffic; the moment representation reduces
+    both.
+    """
+    if scheme.upper() == "AA":
+        return lat.q
+    return values_per_update(lat, scheme)
+
+
+def state_bytes(lat: LatticeDescriptor, scheme: str, n_nodes: int) -> int:
+    """Resident simulation-state bytes for ``n_nodes`` fluid lattice points."""
+    return state_values_per_node(lat, scheme) * DOUBLE * n_nodes
+
+
+def state_gib(lat: LatticeDescriptor, scheme: str, n_nodes: int) -> float:
+    """State size in GiB (the unit reproducing the paper's figures)."""
+    return state_bytes(lat, scheme, n_nodes) / GIB
+
+
+def memory_reduction(lat: LatticeDescriptor) -> float:
+    """Fractional footprint reduction of MR vs ST: ``1 - M/Q``.
+
+    ~0.33 for D2Q9 (paper rounds to 35%) and ~0.47 for D3Q19.
+    """
+    return 1.0 - lat.n_moments / lat.q
+
+
+def circular_shift_state_bytes(lat: LatticeDescriptor, n_nodes: int,
+                               margin_nodes: int) -> int:
+    """Footprint of the single-array MR variant with a circular-shift margin
+    (Dethier et al. 2011): ``M * (N + margin) * 8`` — roughly half the
+    double-buffered figure for large N."""
+    return lat.n_moments * (n_nodes + margin_nodes) * DOUBLE
+
+
+def max_problem_size(lat: LatticeDescriptor, scheme: str, memory_bytes: int) -> int:
+    """Largest node count fitting in a device memory of ``memory_bytes``."""
+    return memory_bytes // (state_values_per_node(lat, scheme) * DOUBLE)

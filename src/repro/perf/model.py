@@ -1,0 +1,154 @@
+"""MFLUPS predictor combining traffic, flops, occupancy and calibration.
+
+For a given (device, scheme, lattice, problem size) the model computes
+
+.. code::
+
+    t_node = max( bytes_per_node / (peak_bw  * eff_bw),
+                  flops_per_node / (peak_fp64 * eff_fp) )
+    t_step = n_nodes * t_node / wave_utilization + launch_overhead
+    MFLUPS = n_fluid / t_step / 1e6
+
+* ``bytes_per_node`` defaults to the ideal ``2Q``/``2M`` doubles of paper
+  Table 2, but callers should pass the value *measured* by the virtual-GPU
+  kernels (the bench harness does), so boundary extras and halo residues
+  are included.
+* ``flops_per_node`` comes from :mod:`repro.perf.flops` and includes the
+  MR halo recomputation.
+* ``wave_utilization`` models device saturation: following the paper's
+  tuning rule ("optimal performance is achieved with two or more thread
+  blocks per SM", Section 3.2), the device is considered saturated once
+  two blocks per SM are *resident*; launches with fewer resident blocks —
+  small problems, or kernels whose shared-memory appetite limits
+  occupancy to one block per SM — scale down proportionally. This,
+  together with the fixed launch overhead, produces the rising-then-flat
+  shape of Figures 2-3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..gpu.device import GPUDevice
+from ..gpu.launch import LaunchConfig, Occupancy, occupancy
+from ..lattice import LatticeDescriptor
+from .calibration import LAUNCH_OVERHEAD_S, bandwidth_efficiency, fp64_efficiency
+from .flops import flops_per_node as _flops_per_node
+from .roofline import bytes_per_flup, roofline_mflups
+
+__all__ = ["Prediction", "PerformanceModel", "st_launch_config", "mr_launch_config"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Model output for one configuration."""
+
+    mflups: float
+    bound: str                  # "memory" | "compute"
+    t_step_s: float
+    bytes_per_node: float
+    flops_per_node: float
+    effective_bandwidth_gbs: float   # sustained DRAM bandwidth implied
+    roofline_fraction: float         # mflups / roofline (ideal B/F)
+    occupancy: Occupancy | None = None
+
+
+def st_launch_config(n_nodes: int, block_size: int = 256) -> LaunchConfig:
+    """One thread per node, 1D blocks (Algorithm 1)."""
+    return LaunchConfig(blocks=math.ceil(n_nodes / block_size),
+                        threads_per_block=block_size)
+
+
+def mr_launch_config(lat: LatticeDescriptor, shape: tuple[int, ...],
+                     tile_cross: tuple[int, ...], w_t: int = 1) -> LaunchConfig:
+    """One block per column (Algorithm 2); shared size per Section 3.2."""
+    blocks = 1
+    for extent, t in zip(shape[:-1], tile_cross):
+        blocks *= math.ceil(extent / t)
+    threads = w_t
+    for t in tile_cross:
+        threads *= t + 2
+    shared = int(math.prod(tile_cross)) * (w_t + 2) * lat.q * 8
+    return LaunchConfig(blocks=blocks, threads_per_block=threads,
+                        shared_bytes_per_block=shared)
+
+
+class PerformanceModel:
+    """Calibrated MFLUPS model for one device."""
+
+    def __init__(self, device: GPUDevice):
+        self.device = device
+
+    def predict(self, lat: LatticeDescriptor, scheme: str, n_nodes: int,
+                *, bytes_per_node: float | None = None,
+                flops_per_node: float | None = None,
+                tile_cross: tuple[int, ...] | None = None,
+                launch: LaunchConfig | None = None,
+                n_fluid: int | None = None) -> Prediction:
+        """Predict throughput for a configuration.
+
+        ``bytes_per_node`` and ``flops_per_node`` override the ideal-model
+        defaults (pass kernel-measured traffic for the reproduction runs);
+        ``launch`` enables the wave-utilization term.
+        """
+        dev = self.device
+        if bytes_per_node is None:
+            bytes_per_node = float(bytes_per_flup(lat, scheme))
+        if flops_per_node is None:
+            flops_per_node = _flops_per_node(lat, scheme, tile_cross)
+        if n_fluid is None:
+            n_fluid = n_nodes
+
+        bw = dev.bandwidth_bytes_per_s * bandwidth_efficiency(dev, scheme, lat.d)
+        fp = dev.fp64_flops_per_s * fp64_efficiency(dev)
+
+        t_mem = bytes_per_node / bw
+        t_comp = flops_per_node / fp
+        t_node = max(t_mem, t_comp)
+        bound = "memory" if t_mem >= t_comp else "compute"
+
+        occ: Occupancy | None = None
+        utilization = 1.0
+        if launch is not None:
+            occ = occupancy(dev, launch)
+            saturation = 2 * dev.sm_count
+            utilization = min(1.0, occ.active_blocks / saturation)
+
+        t_step = n_nodes * t_node / utilization + LAUNCH_OVERHEAD_S
+        mflups = n_fluid / t_step / 1e6
+        return Prediction(
+            mflups=mflups,
+            bound=bound,
+            t_step_s=t_step,
+            bytes_per_node=bytes_per_node,
+            flops_per_node=flops_per_node,
+            effective_bandwidth_gbs=mflups * 1e6 * bytes_per_node / 1e9,
+            roofline_fraction=mflups / roofline_mflups(dev, lat, scheme),
+            occupancy=occ,
+        )
+
+    def predict_shape(self, lat: LatticeDescriptor, scheme: str,
+                      shape: tuple[int, ...],
+                      tile_cross: tuple[int, ...] | None = None,
+                      w_t: int = 1, block_size: int = 256,
+                      bytes_per_node: float | None = None,
+                      n_fluid: int | None = None) -> Prediction:
+        """Predict for a concrete grid, deriving the launch configuration."""
+        n_nodes = math.prod(shape)
+        if scheme.upper() in ("ST", "BGK", "STANDARD"):
+            launch = st_launch_config(n_nodes, block_size)
+            tile_cross = None
+        else:
+            if tile_cross is None:
+                from ..gpu.kernels.moment import default_tile
+
+                tile_cross = default_tile(shape)
+            launch = mr_launch_config(lat, shape, tile_cross, w_t)
+        return self.predict(
+            lat, scheme, n_nodes,
+            bytes_per_node=bytes_per_node,
+            tile_cross=tile_cross,
+            launch=launch,
+            n_fluid=n_fluid,
+        )

@@ -1,0 +1,17 @@
+"""Two-level grid refinement in moment space (paper refs [17]-[19])."""
+
+from .three_dim import RefinedSimulation3D
+from .two_level import (
+    RefinedSimulation2D,
+    RefinedTaylorGreen2D,
+    fine_tau,
+    pi_neq_scale,
+)
+
+__all__ = [
+    "RefinedSimulation2D",
+    "RefinedSimulation3D",
+    "RefinedTaylorGreen2D",
+    "fine_tau",
+    "pi_neq_scale",
+]

@@ -1,0 +1,51 @@
+"""Reference solvers for the three paper schemes (ST, MR-P, MR-R)."""
+
+from .aa import AASolver
+from .base import Solver, SolverDiagnostics
+from .moment import MRPSolver, MRRSolver
+from .non_newtonian import (
+    PowerLawMRPSolver,
+    power_law_force,
+    power_law_poiseuille_profile,
+)
+from .monitors import (
+    ConvergenceMonitor,
+    EnergyMonitor,
+    EnstrophyMonitor,
+    ForceMonitor,
+    Monitor,
+    Monitors,
+    ProbeMonitor,
+)
+from .presets import (
+    SCHEMES,
+    channel_problem,
+    forced_channel_problem,
+    make_solver,
+    periodic_problem,
+)
+from .standard import STSolver
+
+__all__ = [
+    "Solver",
+    "SolverDiagnostics",
+    "STSolver",
+    "AASolver",
+    "MRPSolver",
+    "MRRSolver",
+    "PowerLawMRPSolver",
+    "power_law_force",
+    "power_law_poiseuille_profile",
+    "SCHEMES",
+    "make_solver",
+    "channel_problem",
+    "periodic_problem",
+    "forced_channel_problem",
+    "Monitor",
+    "Monitors",
+    "EnergyMonitor",
+    "EnstrophyMonitor",
+    "ProbeMonitor",
+    "ForceMonitor",
+    "ConvergenceMonitor",
+]

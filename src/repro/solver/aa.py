@@ -1,0 +1,100 @@
+"""AA-pattern solver: the in-place single-lattice distribution scheme.
+
+Bailey et al. (2009) showed the two-lattice requirement of the standard
+representation can be dropped by alternating two kernel flavours on a
+*single* distribution array:
+
+* **even step** — read the node's own populations, collide, write each
+  post-collision component back into the *opposite* slot of the same node
+  (no streaming; purely local swap);
+* **odd step** — for node ``x``, component ``i`` of the time-``t+1`` state
+  lives at slot ``(x - c_i, ibar)``; read those, collide, and write the
+  results to slots ``(x + c_i, i)`` — which are exactly the locations this
+  node's read set came from, so the update is race-free in place.
+
+After every *pair* of steps the array again holds plain pre-collision
+populations, and the trajectory is identical to the standard two-lattice
+solver (tested to machine precision).
+
+Why it matters here: AA halves the ST footprint (``Q`` instead of ``2Q``
+doubles per node) while still moving ``2Q`` doubles per update — so it
+fixes the *capacity* problem the paper's Section 4.1 quantifies, but not
+the *bandwidth* problem; the moment representation fixes both (``2M``
+moved, ``2M`` stored). The footprint bench places all three side by side.
+
+Restrictions of this reference implementation: periodic domains, BGK
+collision, no body force (the parity bookkeeping of fused boundaries is
+out of scope — the paper's comparison baseline is the two-lattice ST).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.collision import BGKCollision
+from ..core.equilibrium import equilibrium
+from ..core.moments import macroscopic
+from .base import Solver
+
+__all__ = ["AASolver"]
+
+
+class AASolver(Solver):
+    """Single-lattice AA-pattern LBM (periodic domains, BGK)."""
+
+    name = "AA"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if self.domain.solid_mask.any() or self.boundaries:
+            raise ValueError(
+                "the AA reference solver supports periodic solid-free "
+                "domains only (boundary parity bookkeeping not implemented)"
+            )
+        if self.force is not None:
+            raise ValueError("the AA reference solver does not support forcing")
+
+    def _initialize(self, rho: np.ndarray, u: np.ndarray) -> None:
+        self.f = equilibrium(self.lat, rho, u)
+        self._collision = BGKCollision(self.tau)
+
+    # ------------------------------------------------------------------
+    def _gathered_state(self) -> np.ndarray:
+        """The true pre-collision populations at the current time."""
+        lat = self.lat
+        if self.time % 2 == 0:
+            return self.f
+        # Odd parity: F_i(x) is stored at slot (x - c_i, ibar).
+        out = np.empty_like(self.f)
+        grid_axes = tuple(range(self.f.ndim - 1))
+        for i in range(lat.q):
+            out[i] = np.roll(self.f[lat.opposite[i]], shift=tuple(lat.c[i]),
+                             axis=grid_axes)
+        return out
+
+    def step(self) -> None:
+        lat = self.lat
+        grid_axes = tuple(range(self.f.ndim - 1))
+        if self.time % 2 == 0:
+            # Even: collide in place, components swapped into opposite slots.
+            f_star = self._collision(lat, self.f)
+            self.f = f_star[lat.opposite]
+        else:
+            # Odd: gather the swapped-and-shifted state, collide, scatter
+            # back to the very slots the reads came from.
+            state = self._gathered_state()
+            f_star = self._collision(lat, state)
+            out = np.empty_like(self.f)
+            for i in range(lat.q):
+                # F*_i(x) -> slot (x + c_i, i).
+                out[i] = np.roll(f_star[i], shift=tuple(lat.c[i]),
+                                 axis=grid_axes)
+            self.f = out
+
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        return macroscopic(self.lat, self._gathered_state())
+
+    @property
+    def state_values_per_node(self) -> int:
+        """A single lattice: Q doubles per node — half of ST's 2Q."""
+        return self.lat.q

@@ -1,0 +1,206 @@
+"""Solver base class and shared plumbing.
+
+A solver owns the simulation state (distribution lattices for ST, a moment
+field for MR-P/MR-R), the bound boundary conditions, and a step method
+implementing one full lattice Boltzmann update. All three paper schemes
+share this interface, so examples, validation and the benchmark harness are
+scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..boundary import Boundary
+from ..core.equilibrium import equilibrium, equilibrium_moments
+from ..geometry import Domain
+from ..lattice import LatticeDescriptor
+
+__all__ = ["Solver", "SolverDiagnostics"]
+
+
+class SolverDiagnostics:
+    """Lightweight macroscopic diagnostics over the fluid region."""
+
+    def __init__(self, solver: "Solver"):
+        self._solver = solver
+
+    def mass(self) -> float:
+        rho, _ = self._solver.macroscopic()
+        return float(rho[self._solver.domain.fluid_mask].sum())
+
+    def momentum(self) -> np.ndarray:
+        rho, u = self._solver.macroscopic()
+        mask = self._solver.domain.fluid_mask
+        return np.array([(rho * u[a])[mask].sum() for a in range(u.shape[0])])
+
+    def max_speed(self) -> float:
+        _, u = self._solver.macroscopic()
+        speed = np.sqrt(np.einsum("a...,a...->...", u, u))
+        return float(speed[self._solver.domain.fluid_mask].max())
+
+
+class Solver(ABC):
+    """Common driver for the ST / MR-P / MR-R schemes.
+
+    Parameters
+    ----------
+    lat:
+        Lattice descriptor (e.g. ``get_lattice("D2Q9")``).
+    domain:
+        Node classification; shape defines the grid.
+    tau:
+        BGK relaxation time (``tau > 1/2``).
+    boundaries:
+        Boundary condition objects; bound to ``(lat, domain, tau)`` here
+        and applied in list order after each streaming step.
+    rho0, u0:
+        Initial density (scalar or ``grid``-shaped) and velocity
+        (``None`` for rest, or ``(D, *grid)``). The initial state is the
+        corresponding equilibrium.
+    """
+
+    #: short scheme label used by benchmarks ("ST", "MR-P", "MR-R")
+    name: str = "?"
+
+    def __init__(self, lat: LatticeDescriptor, domain: Domain, tau: float,
+                 boundaries: Sequence[Boundary] = (),
+                 rho0: float | np.ndarray = 1.0,
+                 u0: np.ndarray | None = None,
+                 force: np.ndarray | None = None):
+        if domain.ndim != lat.d:
+            raise ValueError(
+                f"domain dimension {domain.ndim} does not match lattice D={lat.d}"
+            )
+        if tau <= 0.5:
+            raise ValueError(f"tau must exceed 1/2, got {tau}")
+        if domain.solid_mask.any() and np.abs(lat.c).max() > 1:
+            raise ValueError(
+                f"{lat.name} is a multi-speed lattice (|c| up to "
+                f"{np.abs(lat.c).max()}): populations would jump across "
+                f"one-node walls; only periodic (solid-free) domains are "
+                f"supported for multi-speed lattices"
+            )
+        self.lat = lat
+        self.domain = domain
+        self.tau = float(tau)
+        self.boundaries = [b.bind(lat, domain, tau) for b in boundaries]
+        self.time = 0
+        self.diagnostics = SolverDiagnostics(self)
+        if force is None:
+            self.force = None
+        else:
+            from ..core.forcing import normalize_force
+
+            self.force = normalize_force(lat, force, domain.shape)
+            # No body force inside walls.
+            self.force[:, domain.solid_mask] = 0.0
+
+        rho_init = np.broadcast_to(np.asarray(rho0, dtype=np.float64), domain.shape)
+        if u0 is None:
+            u_init = np.zeros((lat.d, *domain.shape))
+        else:
+            u_init = np.asarray(u0, dtype=np.float64)
+            if u_init.shape != (lat.d, *domain.shape):
+                raise ValueError(
+                    f"u0 must have shape {(lat.d, *domain.shape)}, got {u_init.shape}"
+                )
+        # Solid nodes start (and are kept) at rest equilibrium so that no
+        # NaN/Inf can ever leak out of unused regions.
+        solid = domain.solid_mask
+        rho_init = np.array(rho_init)
+        rho_init[solid] = 1.0
+        u_init = np.array(u_init)
+        u_init[:, solid] = 0.0
+        self._initialize(rho_init, u_init)
+
+    # -- scheme-specific ------------------------------------------------
+    @abstractmethod
+    def _initialize(self, rho: np.ndarray, u: np.ndarray) -> None:
+        """Set the internal state to the equilibrium of (rho, u)."""
+
+    @abstractmethod
+    def step(self) -> None:
+        """Advance the simulation by one timestep."""
+
+    @abstractmethod
+    def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current ``(rho, u)`` fields."""
+
+    @property
+    @abstractmethod
+    def state_values_per_node(self) -> int:
+        """Number of doubles of *global* state per lattice node — ``2Q`` for
+        the two-lattice ST scheme, ``2M`` for the moment representation
+        (paper Table 2 footprint model)."""
+
+    # -- generic driver ---------------------------------------------------
+    def run(self, n_steps: int,
+            callback: Callable[["Solver"], None] | None = None,
+            callback_interval: int = 1) -> "Solver":
+        """Advance ``n_steps`` steps, optionally invoking a callback."""
+        for _ in range(int(n_steps)):
+            self.step()
+            self.time += 1
+            if callback is not None and self.time % callback_interval == 0:
+                callback(self)
+        return self
+
+    def run_to_steady_state(self, tol: float = 1e-8, check_interval: int = 50,
+                            max_steps: int = 200_000) -> int:
+        """Step until the max nodal velocity change over ``check_interval``
+        steps drops below ``tol``. Returns the number of steps taken."""
+        _, u_prev = self.macroscopic()
+        steps = 0
+        while steps < max_steps:
+            self.run(check_interval)
+            steps += check_interval
+            _, u = self.macroscopic()
+            delta = np.abs(u - u_prev)[:, self.domain.fluid_mask].max()
+            if delta < tol:
+                return steps
+            u_prev = u
+        raise RuntimeError(
+            f"no steady state within {max_steps} steps (last delta above {tol})"
+        )
+
+    def set_force(self, force) -> None:
+        """Update the body force (vector or field) between steps.
+
+        Enables time-dependent driving (e.g. pulsatile/Womersley flows):
+        call before each step with the instantaneous force. Solid nodes
+        are automatically zeroed. The solver must have been constructed
+        with a force (the schemes select their forced code paths at
+        construction time).
+        """
+        if self.force is None:
+            raise ValueError(
+                "solver was built without forcing; construct it with "
+                "force=... to enable time-dependent forces"
+            )
+        from ..core.forcing import normalize_force
+
+        new = normalize_force(self.lat, force, self.domain.shape)
+        new[:, self.domain.solid_mask] = 0.0
+        self.force[...] = new
+
+    def velocity(self) -> np.ndarray:
+        return self.macroscopic()[1]
+
+    def density(self) -> np.ndarray:
+        return self.macroscopic()[0]
+
+    # -- helpers for subclasses ------------------------------------------
+    def _apply_post_stream(self, f_new: np.ndarray, f_source: np.ndarray) -> None:
+        for b in self.boundaries:
+            b.post_stream(self.lat, f_new, f_source)
+
+    def _apply_post_collide(self, f_star: np.ndarray, f_post_stream: np.ndarray) -> None:
+        for b in self.boundaries:
+            b.post_collide(self.lat, f_star, f_post_stream)
+
+    def _equilibrium_state(self, rho: np.ndarray, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return equilibrium(self.lat, rho, u), equilibrium_moments(self.lat, rho, u)

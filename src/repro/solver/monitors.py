@@ -1,0 +1,133 @@
+"""Run-time monitors: time-series collection during a simulation.
+
+Monitors are callbacks for :meth:`repro.solver.Solver.run` that sample
+diagnostics on a fixed cadence — kinetic energy, enstrophy, body forces,
+probe velocities — and keep the history for post-processing. They compose:
+
+    energy = EnergyMonitor(every=50)
+    probe = ProbeMonitor((nx//2, ny//2), every=10)
+    solver.run(5000, callback=Monitors(energy, probe))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..validation.norms import kinetic_energy
+
+__all__ = [
+    "Monitor",
+    "Monitors",
+    "EnergyMonitor",
+    "EnstrophyMonitor",
+    "ProbeMonitor",
+    "ForceMonitor",
+    "ConvergenceMonitor",
+]
+
+
+class Monitor:
+    """Base class: samples every ``every`` steps into ``times``/``values``."""
+
+    def __init__(self, every: int = 1):
+        if every < 1:
+            raise ValueError("sampling interval must be >= 1")
+        self.every = int(every)
+        self.times: list[int] = []
+        self.values: list = []
+
+    def sample(self, solver) -> object:
+        raise NotImplementedError
+
+    def __call__(self, solver) -> None:
+        if solver.time % self.every == 0:
+            self.times.append(solver.time)
+            self.values.append(self.sample(solver))
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) as arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+class Monitors:
+    """Compose several monitors into one callback."""
+
+    def __init__(self, *monitors: Monitor):
+        self.monitors = list(monitors)
+
+    def __call__(self, solver) -> None:
+        for m in self.monitors:
+            m(solver)
+
+
+class EnergyMonitor(Monitor):
+    """Total kinetic energy over the fluid region."""
+
+    def sample(self, solver) -> float:
+        rho, u = solver.macroscopic()
+        return kinetic_energy(rho, u, solver.domain.fluid_mask)
+
+
+class EnstrophyMonitor(Monitor):
+    """Total enstrophy (periodic gradient stencil by default)."""
+
+    def __init__(self, every: int = 1, periodic: bool = True):
+        super().__init__(every)
+        self.periodic = periodic
+
+    def sample(self, solver) -> float:
+        from ..analysis import enstrophy
+
+        _, u = solver.macroscopic()
+        return enstrophy(u, periodic=self.periodic,
+                         mask=solver.domain.fluid_mask)
+
+
+class ProbeMonitor(Monitor):
+    """Velocity vector at a fixed lattice node."""
+
+    def __init__(self, position: Sequence[int], every: int = 1):
+        super().__init__(every)
+        self.position = tuple(int(p) for p in position)
+
+    def sample(self, solver) -> np.ndarray:
+        _, u = solver.macroscopic()
+        return u[(slice(None), *self.position)].copy()
+
+
+class ForceMonitor(Monitor):
+    """Momentum-exchange force on a solid body."""
+
+    def __init__(self, solver, body_mask=None, every: int = 1):
+        from ..analysis.forces import MomentumExchangeForce
+
+        super().__init__(every)
+        self._evaluator = MomentumExchangeForce(solver, body_mask)
+
+    def sample(self, solver) -> np.ndarray:
+        return self._evaluator.force()
+
+
+class ConvergenceMonitor(Monitor):
+    """Max nodal velocity change per sampling interval (steady-state gauge)."""
+
+    def __init__(self, every: int = 50):
+        super().__init__(every)
+        self._last_u: np.ndarray | None = None
+
+    def sample(self, solver) -> float:
+        _, u = solver.macroscopic()
+        if self._last_u is None:
+            delta = np.inf
+        else:
+            delta = float(
+                np.abs(u - self._last_u)[:, solver.domain.fluid_mask].max()
+            )
+        self._last_u = u.copy()
+        return delta
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.values) and self.values[-1] < 1e-8

@@ -1,0 +1,172 @@
+"""Non-Newtonian (power-law) flows via locally adaptive relaxation.
+
+Generalized Newtonian fluids set the apparent viscosity from the local
+shear rate, ``nu(gamma) = K gamma^(n-1)`` (n < 1 shear-thinning, n > 1
+shear-thickening). In LBM this means a per-node, per-step relaxation time
+— and the moment representation is the natural home for it: the shear
+rate comes *for free* from the stored second moment,
+
+.. math::
+   \\dot\\gamma = \\sqrt{2 S : S}, \\qquad
+   S = -\\frac{\\Pi^{neq}}{2 \\rho c_s^2 \\tau},
+
+with no velocity gradients and no extra memory traffic (the standard
+explicit linearization evaluates ``S`` with the previous effective
+``tau``, here seeded by the Newtonian value and iterated once per step —
+the usual practice, exact at steady state).
+
+Validated against the analytic power-law Poiseuille profile
+``u(y) = u_max (1 - |2 y / H|^{1 + 1/n})`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.moments import f_from_moments, split_moments
+from ..lattice import LatticeDescriptor
+from .moment import MRPSolver
+
+__all__ = ["PowerLawMRPSolver", "power_law_poiseuille_profile",
+           "power_law_force"]
+
+
+class PowerLawMRPSolver(MRPSolver):
+    """MR-P solver with a power-law (Ostwald-de Waele) viscosity.
+
+    Parameters beyond :class:`MRPSolver`:
+
+    consistency:
+        The consistency index ``K`` (lattice units); the apparent
+        kinematic viscosity is ``nu = K gamma^(n-1)``.
+    exponent:
+        The flow-behaviour index ``n``; ``n = 1`` recovers a Newtonian
+        fluid of viscosity ``K`` exactly.
+    nu_bounds:
+        Clamp on the apparent viscosity (stability guard near
+        ``gamma -> 0`` for shear-thinning fluids, where the power law
+        diverges); defaults to ``(K/50, K*50)``.
+
+    The constructor's ``tau`` sets only the *initial* relaxation field.
+    """
+
+    name = "MR-P-PL"
+
+    def __init__(self, *args, consistency: float = 0.1, exponent: float = 1.0,
+                 nu_bounds: tuple[float, float] | None = None, **kwargs):
+        if consistency <= 0:
+            raise ValueError(f"consistency K must be positive, got {consistency}")
+        if exponent <= 0:
+            raise ValueError(f"flow index n must be positive, got {exponent}")
+        self.consistency = float(consistency)
+        self.exponent = float(exponent)
+        if nu_bounds is None:
+            nu_bounds = (consistency / 50.0, consistency * 50.0)
+        if not 0 < nu_bounds[0] <= nu_bounds[1]:
+            raise ValueError(f"invalid viscosity bounds {nu_bounds}")
+        self.nu_bounds = (float(nu_bounds[0]), float(nu_bounds[1]))
+        super().__init__(*args, **kwargs)
+        self.tau_field = np.full(self.domain.shape, self.tau)
+
+    def _shear_rate(self) -> np.ndarray:
+        """``gamma = sqrt(2 S:S)`` from the stored moments, using the
+        current relaxation field (explicit linearization)."""
+        lat = self.lat
+        rho, j, pi_cols = split_moments(lat, self.m)
+        if self.force is None:
+            u = j / rho
+        else:
+            from ..core.forcing import half_force_velocity
+
+            u = half_force_velocity(lat, rho, j, self.force)
+        s_sq = np.zeros(self.domain.shape)
+        denom = -2.0 * rho * lat.cs2 * self.tau_field
+        for k, (a, b) in enumerate(lat.pair_tuples):
+            pi_neq = pi_cols[k] - rho * u[a] * u[b]
+            s_ab = pi_neq / denom
+            mult = 1.0 if a == b else 2.0
+            s_sq += mult * s_ab * s_ab
+        return np.sqrt(2.0 * s_sq)
+
+    def _update_relaxation(self) -> None:
+        gamma = self._shear_rate()
+        with np.errstate(divide="ignore"):
+            nu = self.consistency * np.where(
+                gamma > 0, gamma, np.inf
+            ) ** (self.exponent - 1.0)
+        if self.exponent < 1.0:
+            nu = np.where(gamma > 0, nu, self.nu_bounds[1])
+        elif self.exponent > 1.0:
+            nu = np.where(gamma > 0, nu, self.nu_bounds[0])
+        else:
+            nu = np.full(self.domain.shape, self.consistency)
+        nu = np.clip(nu, *self.nu_bounds)
+        self.tau_field = nu / self.lat.cs2 + 0.5
+        self.tau_field[self.domain.solid_mask] = self.tau
+
+    def _post_collision_f(self) -> np.ndarray:
+        from ..core.collision import collide_moments_projective
+
+        self._update_relaxation()
+        m_star = _collide_variable_tau(self.lat, self.m, self.tau_field,
+                                       force=self.force)
+        return f_from_moments(self.lat, m_star)
+
+    def apparent_viscosity(self) -> np.ndarray:
+        """Current apparent kinematic viscosity field."""
+        return self.lat.cs2 * (self.tau_field - 0.5)
+
+
+def _collide_variable_tau(lat: LatticeDescriptor, m: np.ndarray,
+                          tau_field: np.ndarray,
+                          force: np.ndarray | None = None) -> np.ndarray:
+    """Projective moment-space collision with a per-node relaxation time."""
+    rho, j, pi_cols = split_moments(lat, m)
+    if force is None:
+        u = j / rho
+    else:
+        from ..core.forcing import half_force_velocity
+
+        u = half_force_velocity(lat, rho, j, force)
+    keep = 1.0 - 1.0 / tau_field
+    m_star = m.copy()
+    for k, (a, b) in enumerate(lat.pair_tuples):
+        pi_eq = rho * u[a] * u[b]
+        m_star[1 + lat.d + k] = pi_eq + keep * (pi_cols[k] - pi_eq)
+    if force is not None:
+        m_star[1:1 + lat.d] += force
+        pref = 1.0 - 0.5 / tau_field
+        for k, (a, b) in enumerate(lat.pair_tuples):
+            m_star[1 + lat.d + k] += pref * (u[a] * force[b] + u[b] * force[a])
+    return m_star
+
+
+def power_law_poiseuille_profile(n_nodes: int, u_max: float,
+                                 exponent: float) -> np.ndarray:
+    """Analytic steady profile of a force-driven power-law channel flow.
+
+    ``u(y) = u_max (1 - |2 yhat / H|^{(n+1)/n})`` with the walls at the
+    half-way positions of an ``n_nodes`` cross-section. ``exponent = 1``
+    recovers the Newtonian parabola.
+    """
+    y = np.arange(n_nodes, dtype=np.float64)
+    y0, y1 = 0.5, n_nodes - 1.5
+    h = (y1 - y0) / 2.0
+    y_hat = np.abs(y - (y0 + y1) / 2.0) / h
+    u = u_max * (1.0 - np.minimum(y_hat, 1.0) ** ((exponent + 1.0) / exponent))
+    u[0] = 0.0
+    u[-1] = 0.0
+    return u
+
+
+def power_law_force(u_max: float, width: float, consistency: float,
+                    exponent: float) -> float:
+    """Body force driving a power-law channel flow of peak ``u_max``.
+
+    From ``F = K (du/dy)^n`` integrated across the half-channel:
+    ``F = K ((n+1)/n * u_max)^n / h^(n+1) * h`` ... explicitly
+    ``F h = K (u_max (n+1)/(n h))^n``, with ``h`` the half-width.
+    """
+    h = width / 2.0
+    gamma_wall = u_max * (exponent + 1.0) / (exponent * h)
+    return consistency * gamma_wall ** exponent / h

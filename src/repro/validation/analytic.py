@@ -1,0 +1,176 @@
+"""Analytic reference solutions for validation.
+
+All coordinates are in lattice units. With half-way bounce-back the
+physical wall sits half a lattice spacing beyond the outermost fluid node,
+so a channel whose grid has ``n`` nodes across (including the two solid
+wall nodes) has walls at ``y = 0.5`` and ``y = n - 1.5`` and width
+``H = n - 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "poiseuille_profile",
+    "couette_profile",
+    "womersley_profile",
+    "womersley_number",
+    "duct_profile",
+    "taylor_green_fields",
+    "taylor_green_decay_rate",
+    "poiseuille_pressure_gradient",
+]
+
+
+def poiseuille_profile(n: int, u_max: float, include_walls: bool = True) -> np.ndarray:
+    """Plane-Poiseuille velocity profile across a channel of ``n`` grid nodes.
+
+    ``n`` counts all nodes across the channel including the two wall
+    (solid) nodes when ``include_walls`` is true; entries at the wall nodes
+    are zero. The parabola vanishes at the half-way wall locations.
+    """
+    y = np.arange(n, dtype=np.float64)
+    if include_walls:
+        y0, y1 = 0.5, n - 1.5
+    else:
+        y0, y1 = -0.5, n - 0.5
+    h = y1 - y0
+    u = 4.0 * u_max * (y - y0) * (y1 - y) / (h * h)
+    if include_walls:
+        u[0] = 0.0
+        u[-1] = 0.0
+    return np.clip(u, 0.0, None) * (u > 0)
+
+
+def couette_profile(n: int, u_wall: float) -> np.ndarray:
+    """Plane-Couette profile: linear from 0 (bottom wall) to ``u_wall``.
+
+    ``n`` counts all nodes across the gap including the two wall nodes;
+    with half-way bounce-back the walls sit at ``y = 0.5`` and
+    ``y = n - 1.5``, so fluid node ``y`` moves at
+    ``u_wall (y - 0.5) / (n - 2)``. Wall-node entries are zero.
+    """
+    y = np.arange(n, dtype=np.float64)
+    u = u_wall * (y - 0.5) / (n - 2.0)
+    u[0] = 0.0
+    u[-1] = 0.0
+    return u
+
+
+def duct_profile(ny: int, nz: int, u_max: float, n_terms: int = 41) -> np.ndarray:
+    """Exact laminar profile of a rectangular duct, normalized to ``u_max``.
+
+    Fourier-series solution of ``-lap u = const`` with no-slip on the
+    rectangle boundary (walls at the half-way locations of an
+    ``ny x nz``-node cross-section that includes one solid rim node on each
+    side). Returns a ``(ny, nz)`` array, zero on the rim.
+    """
+    y = np.arange(ny, dtype=np.float64) - 0.5          # wall at y=0.5 -> eta=0
+    z = np.arange(nz, dtype=np.float64) - 0.5
+    a = ny - 2.0                                       # duct height
+    b = nz - 2.0                                       # duct width
+    yy, zz = np.meshgrid(y, z, indexing="ij")
+    u = np.zeros((ny, nz))
+    # u(eta, zeta) = sum_{odd n} A_n sin(n pi eta / a) * (1 - cosh(...)/cosh(...))
+    for n in range(1, n_terms + 1, 2):
+        k = n * np.pi / a
+        term = (
+            (4.0 / (np.pi * n)) ** 1
+            * np.sin(k * yy)
+            * (1.0 - np.cosh(k * (zz - b / 2.0)) / np.cosh(k * b / 2.0))
+            / n ** 2
+        )
+        u += term
+    inside = (yy > 0) & (yy < a) & (zz > 0) & (zz < b)
+    u[~inside] = 0.0
+    peak = u.max()
+    if peak > 0:
+        u *= u_max / peak
+    return u
+
+
+def womersley_profile(n: int, t: float, amplitude: float, omega: float,
+                      nu: float) -> np.ndarray:
+    """Oscillatory channel (Womersley-type) flow profile at time ``t``.
+
+    Analytic solution of ``du/dt = A cos(omega t) + nu d2u/dy2`` with
+    no-slip walls — a plane channel driven by an oscillating body force
+    (equivalently, pressure gradient) of amplitude ``A`` per unit mass.
+    With ``k = sqrt(i omega / nu)`` and the walls at the half-way
+    positions of an ``n``-node cross-section,
+
+    .. math::
+       u(y, t) = \\Re\\left[ \\frac{A}{i\\omega}
+           \\left(1 - \\frac{\\cosh(k \\hat y)}{\\cosh(k h)}\\right)
+           e^{i\\omega t} \\right]
+
+    where ``\\hat y`` is measured from the channel centre and ``h`` is the
+    half-width. The Womersley number is ``alpha = h sqrt(omega/nu)``:
+    small ``alpha`` gives quasi-steady parabolas, large ``alpha`` the
+    flattened annular-overshoot profiles.
+    """
+    if omega <= 0 or nu <= 0:
+        raise ValueError("omega and nu must be positive")
+    y = np.arange(n, dtype=np.float64)
+    y0, y1 = 0.5, n - 1.5                      # half-way wall positions
+    h = (y1 - y0) / 2.0
+    y_hat = y - (y0 + y1) / 2.0                # centred coordinate
+    k = np.sqrt(1j * omega / nu)
+    u_hat = (amplitude / (1j * omega)) * (
+        1.0 - np.cosh(k * y_hat) / np.cosh(k * h)
+    )
+    u = np.real(u_hat * np.exp(1j * omega * t))
+    u[0] = 0.0
+    u[-1] = 0.0
+    return u
+
+
+def womersley_number(n: int, omega: float, nu: float) -> float:
+    """``alpha = h sqrt(omega / nu)`` for an ``n``-node cross-section."""
+    h = (n - 2.0) / 2.0
+    return h * np.sqrt(omega / nu)
+
+
+def poiseuille_pressure_gradient(u_max: float, width: float, nu: float) -> float:
+    """dp/dx driving a plane Poiseuille flow of peak ``u_max``:
+    ``dp/dx = -8 nu rho u_max / H^2`` (with rho = 1)."""
+    return -8.0 * nu * u_max / (width * width)
+
+
+def taylor_green_fields(shape: tuple[int, int], t: float, nu: float, u0: float,
+                        rho0: float = 1.0, cs2: float = 1.0 / 3.0
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """2D Taylor-Green vortex (periodic) at time ``t``.
+
+    ``u = u0 e^{-t/td} [ cos(kx x) sin(ky y), -(kx/ky) sin(kx x) cos(ky y)]``
+    with ``1/td = nu (kx^2 + ky^2)``, plus the compatible weakly
+    compressible density field. Returns ``(rho, u)`` with shapes
+    ``shape`` and ``(2, *shape)``.
+    """
+    nx, ny = shape
+    kx = 2.0 * np.pi / nx
+    ky = 2.0 * np.pi / ny
+    x = np.arange(nx)[:, None]
+    y = np.arange(ny)[None, :]
+    decay = np.exp(-nu * (kx * kx + ky * ky) * t)
+    u = np.empty((2, nx, ny))
+    u[0] = -u0 * np.sqrt(ky / kx) * np.cos(kx * x) * np.sin(ky * y) * decay
+    u[1] = u0 * np.sqrt(kx / ky) * np.sin(kx * x) * np.cos(ky * y) * decay
+    p = (
+        -0.25
+        * rho0
+        * u0 * u0
+        * ((ky / kx) * np.cos(2 * kx * x) + (kx / ky) * np.cos(2 * ky * y))
+        * decay
+        * decay
+    )
+    rho = rho0 + p / cs2
+    return rho, u
+
+
+def taylor_green_decay_rate(shape: tuple[int, int], nu: float) -> float:
+    """Kinetic-energy decay rate ``2 nu (kx^2 + ky^2)`` of the 2D TGV."""
+    kx = 2.0 * np.pi / shape[0]
+    ky = 2.0 * np.pi / shape[1]
+    return 2.0 * nu * (kx * kx + ky * ky)

@@ -1,0 +1,44 @@
+"""Error norms for comparing simulated and analytic fields."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["l2_error", "linf_error", "relative_l2_error", "kinetic_energy"]
+
+
+def l2_error(a: np.ndarray, b: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Root-mean-square difference, optionally restricted to a mask."""
+    diff = np.asarray(a) - np.asarray(b)
+    if mask is not None:
+        diff = diff[..., mask]
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def linf_error(a: np.ndarray, b: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Maximum absolute difference, optionally restricted to a mask."""
+    diff = np.abs(np.asarray(a) - np.asarray(b))
+    if mask is not None:
+        diff = diff[..., mask]
+    return float(diff.max())
+
+
+def relative_l2_error(a: np.ndarray, ref: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """L2 error normalized by the L2 norm of the reference field."""
+    a = np.asarray(a)
+    ref = np.asarray(ref)
+    if mask is not None:
+        a = a[..., mask]
+        ref = ref[..., mask]
+    denom = np.sqrt(np.sum(ref * ref))
+    if denom == 0.0:
+        raise ValueError("reference field has zero norm")
+    return float(np.sqrt(np.sum((a - ref) ** 2)) / denom)
+
+
+def kinetic_energy(rho: np.ndarray, u: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Total kinetic energy ``sum 1/2 rho |u|^2`` over the (masked) grid."""
+    e = 0.5 * rho * np.einsum("a...,a...->...", u, u)
+    if mask is not None:
+        e = e[mask]
+    return float(e.sum())

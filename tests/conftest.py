@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lattice import get_lattice
+
+ALL_LATTICES = ["D1Q3", "D2Q9", "D3Q15", "D3Q19", "D3Q27", "D3Q39"]
+MAIN_LATTICES = ["D2Q9", "D3Q19"]          # the paper's evaluation lattices
+
+
+@pytest.fixture(params=ALL_LATTICES)
+def lattice(request):
+    """Every built-in lattice descriptor."""
+    return get_lattice(request.param)
+
+
+@pytest.fixture(params=MAIN_LATTICES)
+def paper_lattice(request):
+    """The two lattices evaluated in the paper."""
+    return get_lattice(request.param)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20230613)
+
+
+def small_grid(lat) -> tuple[int, ...]:
+    """A small grid shape matching a lattice's dimension."""
+    return {1: (7,), 2: (6, 5), 3: (5, 4, 3)}[lat.d]
+
+
+@pytest.fixture
+def random_state(lattice, rng):
+    """A perturbed near-equilibrium state (rho, u, f) on a small grid."""
+    from repro.core import equilibrium
+
+    grid = small_grid(lattice)
+    rho = 1.0 + 0.05 * rng.standard_normal(grid)
+    u = 0.04 * rng.standard_normal((lattice.d, *grid))
+    feq = equilibrium(lattice, rho, u)
+    f = feq * (1.0 + 0.02 * rng.standard_normal((lattice.q, *grid)))
+    return rho, u, f

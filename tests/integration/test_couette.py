@@ -1,0 +1,84 @@
+"""Integration: plane-Couette flow (moving-wall bounce-back validation)."""
+
+import numpy as np
+import pytest
+
+from repro.boundary import HalfwayBounceBack
+from repro.geometry import channel_2d
+from repro.lattice import get_lattice
+from repro.solver import make_solver
+from repro.validation import couette_profile
+
+
+def couette_solver(scheme: str, shape=(8, 22), u_wall=0.04, tau=0.8):
+    """Streamwise-periodic gap with the top wall sliding at u_wall."""
+    lat = get_lattice("D2Q9")
+    domain = channel_2d(*shape, with_io=False)
+    wall_u = np.zeros((2, *shape))
+    wall_u[0, :, -1] = u_wall
+    bb = HalfwayBounceBack(wall_velocity=wall_u)
+    return make_solver(scheme, lat, domain, tau, boundaries=[bb])
+
+
+SCHEMES = ["ST", "MR-P", "MR-R"]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_linear_profile(scheme):
+    shape, u_wall = (8, 22), 0.04
+    s = couette_solver(scheme, shape, u_wall)
+    s.run_to_steady_state(tol=1e-12, check_interval=200, max_steps=80_000)
+    ux = s.velocity()[0]
+    analytic = couette_profile(shape[1], u_wall)
+    err = np.abs(ux[4, 1:-1] - analytic[1:-1]).max() / u_wall
+    assert err < 3e-3, (scheme, err)
+    # No transverse flow.
+    assert np.abs(s.velocity()[1]).max() < 1e-10
+
+
+def test_shear_stress_uniform_from_moments():
+    """Couette has constant shear: the gradient-free MR stress shows it."""
+    from repro.analysis import strain_rate_from_moments
+
+    shape, u_wall, tau = (8, 22), 0.04, 0.8
+    s = couette_solver("MR-P", shape, u_wall, tau)
+    s.run_to_steady_state(tol=1e-12, check_interval=200, max_steps=80_000)
+    lat = s.lat
+    strain = strain_rate_from_moments(lat, s.m, tau)
+    sxy = strain[lat.pair_index(0, 1)]
+    expected = 0.5 * u_wall / (shape[1] - 2)      # 1/2 du/dy
+    interior = sxy[:, 2:-2]
+    assert np.allclose(interior, expected, rtol=0.02)
+
+
+def test_wall_drag_matches_viscous_stress():
+    """Momentum exchange on both walls equals tau_w x area.
+
+    The fluid drags the static bottom wall *along* the flow (+x) and
+    resists the moving top wall (-x); the tangential magnitudes are equal
+    (constant shear) and the normal components are the hydrostatic
+    pressure rho cs2 x area, pointing out of the fluid.
+    """
+    from repro.analysis import MomentumExchangeForce
+
+    shape, u_wall, tau = (8, 22), 0.04, 0.8
+    s = couette_solver("ST", shape, u_wall, tau)
+    s.run_to_steady_state(tol=1e-12, check_interval=200, max_steps=80_000)
+    nu = s.lat.viscosity(tau)
+    tau_wall = nu * u_wall / (shape[1] - 2)       # rho = 1
+    area = shape[0]
+
+    bottom = np.zeros(shape, dtype=bool)
+    bottom[:, 0] = True
+    f_bot = MomentumExchangeForce(s, body_mask=bottom).force()
+    assert f_bot[0] == pytest.approx(tau_wall * area, rel=0.02)
+    assert f_bot[1] == pytest.approx(-s.lat.cs2 * area, rel=0.01)
+
+    wall_u = np.zeros((2, *shape))
+    wall_u[0, :, -1] = u_wall
+    top = np.zeros(shape, dtype=bool)
+    top[:, -1] = True
+    f_top = MomentumExchangeForce(s, body_mask=top,
+                                  wall_velocity=wall_u).force()
+    assert f_top[0] == pytest.approx(-tau_wall * area, rel=0.02)
+    assert f_top[1] == pytest.approx(s.lat.cs2 * area, rel=0.01)

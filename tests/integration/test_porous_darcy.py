@@ -1,0 +1,80 @@
+"""Integration: forced ST kernel + porous media = Darcy flow on the
+virtual GPU."""
+
+import numpy as np
+import pytest
+
+from repro.boundary import HalfwayBounceBack
+from repro.geometry import Domain
+from repro.gpu import KernelProblem, STKernel, V100
+from repro.lattice import get_lattice
+from repro.solver import STSolver
+
+
+def porous_setup(shape=(24, 24), fraction=0.15, seed=21, tau=0.8):
+    lat = get_lattice("D2Q9")
+    rng = np.random.default_rng(seed)
+    solid = rng.random(shape) < fraction
+    # Keep a connected flow path: clear one full channel row.
+    solid[:, shape[1] // 2] = False
+    prob = KernelProblem(lat, shape, tau, mode="masked", solid_mask=solid)
+    nt = np.zeros(shape, dtype=np.int8)
+    nt[solid] = 1
+    return lat, prob, Domain(nt), solid
+
+
+class TestForcedKernelEquivalence:
+    def test_matches_forced_reference(self):
+        lat, prob, dom, solid = porous_setup()
+        force = np.array([2e-5, 0.0])
+        ref = STSolver(lat, dom, 0.8, boundaries=[HalfwayBounceBack()],
+                       force=force)
+        kernel = STKernel(prob, V100, force=force)
+        for _ in range(20):
+            ref.step()
+            kernel.step()
+        assert np.abs(kernel.distribution() - ref.f).max() < 1e-13
+        rk, uk = kernel.macroscopic_fields()
+        rr, ur = ref.macroscopic()
+        fluid = ~solid
+        assert np.abs(uk - ur)[:, fluid].max() < 1e-13
+
+    def test_forced_periodic_momentum_budget(self):
+        lat = get_lattice("D2Q9")
+        prob = KernelProblem(lat, (10, 10), 0.8, mode="periodic")
+        fx = 1e-4
+        kernel = STKernel(prob, V100, force=np.array([fx, 0.0]))
+        for _ in range(6):
+            kernel.step()
+        rho, u = kernel.macroscopic_fields()
+        px = (rho * u[0]).sum()
+        assert px == pytest.approx(100 * fx * 6.5, rel=1e-10)
+
+
+class TestDarcy:
+    def _mean_velocity(self, force_x, steps=4000):
+        lat, prob, dom, solid = porous_setup()
+        kernel = STKernel(prob, V100, force=np.array([force_x, 0.0]))
+        for _ in range(steps):
+            kernel.step()
+        _, u = kernel.macroscopic_fields()
+        return u[0][~solid].mean()
+
+    def test_darcy_linearity(self):
+        """At creeping-flow conditions, mean velocity scales linearly with
+        the driving force: <u> = k F / nu (Darcy's law)."""
+        u1 = self._mean_velocity(1e-6)
+        u2 = self._mean_velocity(2e-6)
+        assert u1 > 0
+        assert u2 / u1 == pytest.approx(2.0, rel=0.01)
+
+    def test_permeability_below_open_channel(self):
+        """The porous medium's permeability is far below the open-channel
+        bound k = H^2/12."""
+        f = 1e-6
+        lat = get_lattice("D2Q9")
+        nu = lat.viscosity(0.8)
+        u_mean = self._mean_velocity(f)
+        k = u_mean * nu / f
+        k_open = 22 ** 2 / 12.0          # open channel of the same height
+        assert 0 < k < 0.5 * k_open

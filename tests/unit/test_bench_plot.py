@@ -1,0 +1,95 @@
+"""Unit tests for the bench rendering helpers (tables, CSV, SVG)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import figure_to_csv, figure_to_svg, render_table
+from repro.bench.figures import FigureSeries
+from repro.bench.plot import _ticks
+
+
+@pytest.fixture
+def panels():
+    p1 = FigureSeries(device="V100", lattice="D2Q9")
+    p1.sizes = [1_000_000, 4_000_000, 16_000_000]
+    p1.series = {"ST": [4000.0, 5000.0, 5300.0],
+                 "MR-P": [3000.0, 6000.0, 7000.0],
+                 "MR-R": [3000.0, 6000.0, 6990.0]}
+    p1.rooflines = {"ST": 6250.0, "MR": 9375.0}
+    p2 = FigureSeries(device="MI100", lattice="D2Q9")
+    p2.sizes = p1.sizes
+    p2.series = {k: [v * 1.2 for v in vals] for k, vals in p1.series.items()}
+    p2.rooflines = {"ST": 8533.0, "MR": 12800.0}
+    return [p1, p2]
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["a", "bb"], [[1, "xyz"], [22, "q"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "22" in lines[4]
+
+    def test_no_title(self):
+        text = render_table(["x"], [[1]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].strip() == "x"
+
+
+class TestCSV:
+    def test_structure(self, panels):
+        csv = figure_to_csv(panels)
+        blocks = csv.strip().split("\n\n")
+        assert len(blocks) == 2
+        lines = blocks[0].splitlines()
+        assert lines[0].startswith("# D2Q9 on V100")
+        assert lines[1] == "nodes,MR-P,MR-R,ST"
+        assert len(lines) == 2 + 3                # header rows + 3 sizes
+        first = lines[2].split(",")
+        assert first[0] == "1000000"
+        assert float(first[3]) == 4000.0          # ST column (sorted order)
+
+    def test_round_trip_values(self, panels):
+        csv = figure_to_csv(panels)
+        row = csv.splitlines()[2].split(",")
+        assert float(row[1]) == pytest.approx(3000.0)   # MR-P
+
+
+class TestSVG:
+    def test_valid_structure(self, panels):
+        svg = figure_to_svg(panels, title="Fig")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") == 6         # 3 series x 2 panels
+        assert "Fig" in svg
+        assert "roofline" in svg
+        assert "MI100" in svg and "V100" in svg
+
+    def test_points_within_canvas(self, panels):
+        svg = figure_to_svg(panels)
+        import re
+
+        for m in re.finditer(r'<circle cx="([\d.]+)" cy="([\d.]+)"', svg):
+            x, y = float(m.group(1)), float(m.group(2))
+            assert 0 <= x <= 920
+            assert 0 <= y <= 360
+
+    def test_single_panel(self, panels):
+        svg = figure_to_svg(panels[:1])
+        assert 'width="460"' in svg
+
+
+class TestTicks:
+    def test_cover_range(self):
+        ticks = _ticks(0, 9375)
+        assert ticks[0] <= 0.01
+        assert ticks[-1] <= 9375
+        assert len(ticks) >= 3
+        steps = np.diff(ticks)
+        assert np.allclose(steps, steps[0])
+
+    def test_degenerate_range(self):
+        ticks = _ticks(5, 5)
+        assert len(ticks) >= 1

@@ -1,0 +1,79 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "MR-P"
+        assert args.lattice == "D2Q9"
+        assert args.problem == "channel"
+
+    def test_invalid_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "MRT"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out and "MI100" in out
+        assert "900.0 GB/s" in out
+
+    def test_run_channel_small(self, capsys, tmp_path):
+        out_file = tmp_path / "final.npz"
+        rc = main([
+            "run", "--scheme", "ST", "--shape", "24,10", "--steps", "20",
+            "--report-interval", "10", "--output", str(out_file),
+        ])
+        assert rc == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "ST / D2Q9" in out
+        assert "step" in out
+
+    def test_run_taylor_green(self, capsys):
+        rc = main([
+            "run", "--problem", "taylor-green", "--scheme", "MR-R",
+            "--shape", "16,16", "--steps", "10", "--report-interval", "5",
+        ])
+        assert rc == 0
+        assert "MR-R" in capsys.readouterr().out
+
+    def test_run_taylor_green_needs_2d(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--problem", "taylor-green", "--shape", "8,8,8",
+                  "--lattice", "D3Q19", "--steps", "1"])
+
+    def test_run_vtk_output(self, tmp_path):
+        out_file = tmp_path / "final.vtk"
+        main(["run", "--scheme", "ST", "--shape", "16,8", "--steps", "5",
+              "--output", str(out_file)])
+        assert "DATASET STRUCTURED_POINTS" in out_file.read_text()
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "--lattice", "D3Q19", "--device", "V100",
+                   "--shape", "64,64,64", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legal configurations" in out
+        assert "MFLUPS" in out
+        # Three ranked rows after the header lines.
+        assert len([l for l in out.splitlines() if l.strip().startswith("(")]) == 3
+
+    def test_tune_mi100_q27_avoids_cliff(self, capsys):
+        main(["tune", "--lattice", "D3Q27", "--device", "MI100",
+              "--shape", "64,64,64", "--top", "1"])
+        out = capsys.readouterr().out
+        top_row = [l for l in out.splitlines() if l.strip().startswith("(")][0]
+        # blocks/SM column must satisfy the 2-block rule.
+        assert int(top_row.split()[-3]) >= 2

@@ -1,0 +1,12 @@
+"""Unit test for the ``mrlbm validate`` physics smoke command."""
+
+from repro.cli import main
+
+
+def test_validate_fast_passes(capsys):
+    rc = main(["validate", "--fast"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.count("PASS") == 6          # 3 schemes x 2 flows
+    assert "FAIL" not in out
+    assert "all validations passed" in out

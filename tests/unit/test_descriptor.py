@@ -1,0 +1,145 @@
+"""Unit tests for lattice descriptors and their derived machinery."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import build_descriptor, get_lattice
+from repro.lattice.descriptor import _supported_columns
+
+
+class TestBasicProperties:
+    def test_sizes(self):
+        for name, (d, q, m) in {
+            "D1Q3": (1, 3, 3),
+            "D2Q9": (2, 9, 6),
+            "D3Q15": (3, 15, 10),
+            "D3Q19": (3, 19, 10),
+            "D3Q27": (3, 27, 10),
+        }.items():
+            lat = get_lattice(name)
+            assert (lat.d, lat.q, lat.n_moments) == (d, q, m)
+
+    def test_opposites(self, lattice):
+        c = lattice.c
+        opp = lattice.opposite
+        assert np.array_equal(c[opp], -c)
+        assert np.array_equal(opp[opp], np.arange(lattice.q))
+
+    def test_weights_match_opposites(self, lattice):
+        assert np.allclose(lattice.w[lattice.opposite], lattice.w)
+
+    def test_arrays_immutable(self, lattice):
+        for arr in (lattice.c, lattice.w, lattice.moment_matrix,
+                    lattice.reconstruction_matrix, lattice.h2_cols):
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_viscosity_roundtrip(self, lattice):
+        tau = 0.77
+        nu = lattice.viscosity(tau)
+        assert nu == pytest.approx(lattice.cs2 * (tau - 0.5))
+        assert lattice.tau_for_viscosity(nu) == pytest.approx(tau)
+
+    def test_pair_index(self):
+        lat = get_lattice("D3Q19")
+        assert lat.pair_index(0, 0) == 0
+        assert lat.pair_index(2, 0) == lat.pair_index(0, 2)
+        assert lat.pair_index(2, 2) == 5
+
+    def test_moment_slot(self):
+        lat = get_lattice("D2Q9")
+        assert lat.moment_slot("rho") == 0
+        assert lat.moment_slot("j", 1) == 2
+        assert lat.moment_slot("pi", 0, 1) == 4
+        with pytest.raises(ValueError):
+            lat.moment_slot("j", 5)
+        with pytest.raises(ValueError):
+            lat.moment_slot("nonsense")
+
+
+class TestMatrices:
+    def test_projection_rows(self, lattice):
+        """moment_matrix rows are [1; c_a; H2 distinct]."""
+        m = lattice.moment_matrix
+        assert np.allclose(m[0], 1.0)
+        assert np.allclose(m[1:1 + lattice.d], lattice.c.T)
+        assert np.allclose(m[1 + lattice.d:], lattice.h2_cols.T)
+
+    def test_projection_reconstruction_consistency(self, lattice):
+        """M(R m) = m for any moment vector (Eq. 11 preserves its inputs)."""
+        rng = np.random.default_rng(1)
+        m = rng.standard_normal(lattice.n_moments)
+        m[0] += 2.0
+        f = lattice.reconstruction_matrix @ m
+        assert np.allclose(lattice.moment_matrix @ f, m, atol=1e-12)
+
+    def test_reconstruction_of_rest_state(self, lattice):
+        m = np.zeros(lattice.n_moments)
+        m[0] = 1.0
+        assert np.allclose(lattice.reconstruction_matrix @ m, lattice.w)
+
+
+class TestValidation:
+    def test_rejects_asymmetric_set(self):
+        # Fails moment validation (nonzero first moment) before the
+        # opposite-pairing check can even run.
+        with pytest.raises(ValueError):
+            build_descriptor("bad", [[0], [1]], [0.5, 0.5])
+
+    def test_rejects_bad_weight_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            build_descriptor("bad", [[0], [1], [-1]], [0.5, 0.5, 0.5])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            build_descriptor("bad", [[0], [1], [-1]], [1.5, -0.25, -0.25])
+
+    def test_rejects_wrong_cs2(self):
+        # D1Q3 weights give cs2 = 1/3; claiming 1/2 must fail.
+        with pytest.raises(ValueError, match="second velocity moment"):
+            build_descriptor("bad", [[0], [1], [-1]],
+                             [2 / 3, 1 / 6, 1 / 6], cs2=0.5)
+
+    def test_rejects_mismatched_weight_count(self):
+        with pytest.raises(ValueError, match="one entry per velocity"):
+            build_descriptor("bad", [[0], [1], [-1]], [0.5, 0.5])
+
+
+class TestSupportedBasis:
+    def test_d2q9_minimal_basis(self):
+        """Malaspinas (2015): D2Q9 supports {xxy, xyy} and {xxyy} only."""
+        lat = get_lattice("D2Q9")
+        triples = [lat.triple_tuples[i] for i in lat.h3_supported]
+        quads = [lat.quad_tuples[i] for i in lat.h4_supported]
+        assert triples == [(0, 0, 1), (0, 1, 1)]
+        assert quads == [(0, 0, 1, 1)]
+
+    def test_d3q19_basis(self):
+        """D3Q19: six third-order and three fourth-order components."""
+        lat = get_lattice("D3Q19")
+        assert len(lat.h3_supported) == 6
+        assert len(lat.h4_supported) == 3
+        # H3_xyz and the diagonal H3_aaa vanish on D3Q19.
+        triples = [lat.triple_tuples[i] for i in lat.h3_supported]
+        assert (0, 1, 2) not in triples
+        assert (0, 0, 0) not in triples
+
+    def test_d3q27_full_third_order(self):
+        lat = get_lattice("D3Q27")
+        triples = [lat.triple_tuples[i] for i in lat.h3_supported]
+        assert (0, 1, 2) in triples          # xyz supported on Q27
+        assert len(lat.h3_supported) == 7
+
+    def test_d2q9_h4xxxx_aliases_h2xx(self):
+        """The alias that motivates the supported-basis filter."""
+        lat = get_lattice("D2Q9")
+        k4 = lat.quad_tuples.index((0, 0, 0, 0))
+        k2 = lat.pair_tuples.index((0, 0))
+        assert np.allclose(lat.h4_cols[:, k4], -lat.h2_cols[:, k2])
+        assert k4 not in lat.h4_supported
+
+    def test_supported_columns_empty_for_zero(self):
+        cols = np.zeros((5, 2))
+        lower = np.ones((5, 1))
+        w = np.full(5, 0.2)
+        assert _supported_columns(cols, lower, w).size == 0

@@ -1,0 +1,100 @@
+"""Unit tests for equilibrium distributions and equilibrium moments."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    a3_equilibrium_cols,
+    a4_equilibrium_cols,
+    equilibrium,
+    equilibrium_extended,
+    equilibrium_moments,
+    macroscopic,
+    moments_from_f,
+)
+
+
+class TestSecondOrderEquilibrium:
+    def test_rest_state_is_weights(self, lattice):
+        rho = np.ones((3,) * lattice.d)
+        u = np.zeros((lattice.d,) + rho.shape)
+        feq = equilibrium(lattice, rho, u)
+        assert np.allclose(feq, lattice.w.reshape((-1,) + (1,) * lattice.d))
+
+    def test_moments_recovered(self, lattice, random_state):
+        rho, u, _ = random_state
+        feq = equilibrium(lattice, rho, u)
+        r2, u2 = macroscopic(lattice, feq)
+        assert np.allclose(r2, rho)
+        assert np.allclose(u2, u)
+
+    def test_second_moment_is_rho_uu(self, lattice, random_state):
+        """sum H2 f_eq = rho u u — the identity behind Eq. 10's Pi_eq."""
+        rho, u, _ = random_state
+        feq = equilibrium(lattice, rho, u)
+        m = moments_from_f(lattice, feq)
+        for k, (a, b) in enumerate(lattice.pair_tuples):
+            assert np.allclose(m[1 + lattice.d + k], rho * u[a] * u[b])
+
+    def test_scales_linearly_with_density(self, lattice, random_state):
+        rho, u, _ = random_state
+        assert np.allclose(
+            equilibrium(lattice, 2 * rho, u), 2 * equilibrium(lattice, rho, u)
+        )
+
+    def test_galilean_symmetry(self, lattice, random_state):
+        """f_eq(rho, -u) at c equals f_eq(rho, u) at -c."""
+        rho, u, _ = random_state
+        f_plus = equilibrium(lattice, rho, u)
+        f_minus = equilibrium(lattice, rho, -u)
+        assert np.allclose(f_minus, f_plus[lattice.opposite])
+
+    def test_rejects_bad_velocity_shape(self, lattice):
+        rho = np.ones((3,) * lattice.d)
+        with pytest.raises(ValueError, match="leading axis"):
+            equilibrium(lattice, rho, np.zeros((lattice.d + 1, *rho.shape)))
+
+
+class TestEquilibriumMoments:
+    def test_matches_projection(self, lattice, random_state):
+        rho, u, _ = random_state
+        m_direct = equilibrium_moments(lattice, rho, u)
+        m_proj = moments_from_f(lattice, equilibrium(lattice, rho, u))
+        assert np.allclose(m_direct, m_proj, atol=1e-12)
+
+
+class TestExtendedEquilibrium:
+    def test_conserves_hydrodynamics(self, lattice, random_state):
+        rho, u, _ = random_state
+        feq4 = equilibrium_extended(lattice, rho, u)
+        r2, u2 = macroscopic(lattice, feq4)
+        assert np.allclose(r2, rho)
+        assert np.allclose(u2, u)
+
+    def test_reduces_to_second_order_at_rest(self, lattice):
+        rho = np.full((3,) * lattice.d, 1.1)
+        u = np.zeros((lattice.d,) + rho.shape)
+        assert np.allclose(
+            equilibrium_extended(lattice, rho, u), equilibrium(lattice, rho, u)
+        )
+
+    def test_higher_order_terms_are_order_u3(self, lattice):
+        """Extended minus second-order equilibrium scales like u^3."""
+        rho = np.ones((2,) * lattice.d)
+        u1 = np.full((lattice.d,) + rho.shape, 0.02)
+        u2 = 2 * u1
+        d1 = np.abs(equilibrium_extended(lattice, rho, u1)
+                    - equilibrium(lattice, rho, u1)).max()
+        d2 = np.abs(equilibrium_extended(lattice, rho, u2)
+                    - equilibrium(lattice, rho, u2)).max()
+        if d1 > 0:
+            assert 6.0 < d2 / d1 < 18.0       # ~8x for cubic leading term
+
+    def test_a3_a4_equilibrium_cols(self, lattice, random_state):
+        rho, u, _ = random_state
+        a3 = a3_equilibrium_cols(lattice, rho, u)
+        for k, (a, b, c) in enumerate(lattice.triple_tuples):
+            assert np.allclose(a3[k], rho * u[a] * u[b] * u[c])
+        a4 = a4_equilibrium_cols(lattice, rho, u)
+        for k, (a, b, c, e) in enumerate(lattice.quad_tuples):
+            assert np.allclose(a4[k], rho * u[a] * u[b] * u[c] * u[e])

@@ -1,0 +1,128 @@
+"""Error-path coverage across packages: every public entry point should
+fail loudly and informatively on bad input."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import periodic_box
+from repro.gpu import KernelProblem, LaunchConfig, V100
+from repro.lattice import get_lattice
+
+
+@pytest.fixture
+def d2q9():
+    return get_lattice("D2Q9")
+
+
+class TestParallelErrors:
+    def test_unknown_scheme(self):
+        from repro.parallel import distributed_periodic_problem
+
+        with pytest.raises(ValueError, match="unknown scheme"):
+            distributed_periodic_problem("MRT", "D2Q9", (12, 8), 2)
+
+    def test_shape_mismatch(self):
+        from repro.parallel import distributed_channel_problem
+
+        with pytest.raises(ValueError, match="shape"):
+            distributed_channel_problem("ST", "D3Q19", (12, 8), 2)
+
+    def test_bad_exchange_mode(self):
+        from repro.parallel import distributed_periodic_problem
+
+        with pytest.raises(ValueError, match="st_exchange"):
+            distributed_periodic_problem("ST", "D2Q9", (12, 8), 2,
+                                         st_exchange="compressed")
+
+
+class TestMemoryErrors:
+    def test_bad_itemsize(self):
+        from repro.gpu.memory import GlobalArray, MemoryTracker
+
+        with pytest.raises(ValueError, match="itemsize"):
+            GlobalArray("x", 8, MemoryTracker(), itemsize=0)
+
+    def test_unknown_access_kind(self):
+        from repro.gpu.memory import MemoryTracker
+
+        with pytest.raises(ValueError, match="kind"):
+            MemoryTracker().record(np.array([0]), "modify")
+
+
+class TestKernelErrors:
+    def test_mr_kernel_tile_dim_mismatch(self, d2q9):
+        from repro.gpu import MRKernel
+
+        prob = KernelProblem(d2q9, (16, 16), 0.8)
+        with pytest.raises(ValueError, match="tile_cross"):
+            MRKernel(prob, V100, tile_cross=(4, 4))
+
+    def test_indirect_kernel_all_solid(self, d2q9):
+        from repro.gpu import STIndirectKernel
+
+        prob = KernelProblem(d2q9, (8, 8), 0.8, mode="masked",
+                             solid_mask=np.ones((8, 8), bool))
+        with pytest.raises(ValueError, match="no fluid"):
+            STIndirectKernel(prob, V100)
+
+    def test_launch_thread_limit(self):
+        from repro.gpu import validate_launch
+
+        with pytest.raises(ValueError, match="threads"):
+            validate_launch(V100, LaunchConfig(1, 4096))
+
+
+class TestSolverErrors:
+    def test_monitor_requires_solid_body(self, d2q9):
+        from repro.analysis import MomentumExchangeForce
+        from repro.solver import make_solver
+
+        s = make_solver("ST", d2q9, periodic_box((6, 6)), 0.8)
+        with pytest.raises(ValueError):
+            MomentumExchangeForce(s)
+
+    def test_force_monitor_bad_wall_velocity(self, d2q9):
+        from repro.analysis import MomentumExchangeForce
+        from repro.boundary import HalfwayBounceBack
+        from repro.geometry import lid_driven_cavity
+        from repro.solver import make_solver
+
+        s = make_solver("ST", d2q9, lid_driven_cavity(8), 0.8,
+                        boundaries=[HalfwayBounceBack()])
+        with pytest.raises(ValueError, match="wall_velocity"):
+            MomentumExchangeForce(s, wall_velocity=np.zeros((2, 3, 3)))
+
+    def test_refinement_bad_tau(self):
+        from repro.refinement import RefinedSimulation2D
+
+        with pytest.raises(ValueError, match="tau"):
+            RefinedSimulation2D((24, 12), (8, 16), 0.5)
+
+
+class TestBenchErrors:
+    def test_figure_data_unknown_lattice(self):
+        from repro.bench import figure_data
+
+        with pytest.raises(ValueError, match="unknown lattice"):
+            figure_data("D4Q42", [(64, 64)])
+
+    def test_best_tile_no_legal_config(self):
+        from repro.perf import best_tile
+
+        lat = get_lattice("D3Q19")
+        # Prime cross extents above the divisor search bound: nothing to
+        # tile with, so the tuner must refuse rather than guess.
+        with pytest.raises(ValueError, match="no legal"):
+            best_tile(lat, (67, 67, 64), V100, w_t_options=(3,))
+
+
+class TestIOErrors:
+    def test_restore_into_wrong_time_type(self, tmp_path, d2q9):
+        from repro.io import restore_checkpoint, save_checkpoint
+        from repro.solver import make_solver
+
+        a = make_solver("MR-P", d2q9, periodic_box((6, 6)), 0.8)
+        path = save_checkpoint(tmp_path / "c.npz", a)
+        b = make_solver("MR-R", d2q9, periodic_box((6, 6)), 0.8)
+        with pytest.raises(ValueError, match="scheme"):
+            restore_checkpoint(path, b)

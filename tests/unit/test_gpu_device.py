@@ -1,0 +1,52 @@
+"""Unit tests for GPU device models (paper Table 1)."""
+
+import pytest
+
+from repro.gpu import MI100, V100, available_devices, get_device
+
+
+class TestTable1Values:
+    """The device models must carry exactly the paper's Table 1 numbers."""
+
+    def test_v100(self):
+        assert V100.frequency_mhz == 1455
+        assert V100.cores == 5120
+        assert V100.sm_count == 80
+        assert V100.shared_mem_per_sm_kb == 96
+        assert V100.l1_kb == 96
+        assert V100.l2_kb == 6144
+        assert V100.memory_gb == 16
+        assert V100.bandwidth_gbs == 900
+        assert V100.compiler == "nvcc v11.0.221"
+        assert V100.warp_size == 32
+
+    def test_mi100(self):
+        assert MI100.frequency_mhz == 1502
+        assert MI100.cores == 7680
+        assert MI100.sm_count == 120
+        assert MI100.shared_mem_per_sm_kb == 64
+        assert MI100.l1_kb == 16
+        assert MI100.l2_kb == 8192
+        assert MI100.memory_gb == 32
+        assert MI100.bandwidth_gbs == 1228.86
+        assert MI100.compiler == "hipcc 4.2"
+        assert MI100.warp_size == 64
+
+    def test_derived_units(self):
+        assert V100.bandwidth_bytes_per_s == pytest.approx(900e9)
+        assert V100.fp64_flops_per_s == pytest.approx(7.8e12)
+        assert V100.shared_mem_per_sm_bytes == 96 * 1024
+        assert MI100.memory_bytes() == 32 * 1024 ** 3
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_device("v100") is V100
+        assert get_device("MI100") is MI100
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("H100")
+
+    def test_available(self):
+        assert available_devices() == ["MI100", "V100"]

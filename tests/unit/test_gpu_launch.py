@@ -1,0 +1,100 @@
+"""Unit tests for launch validation and occupancy (Section 3.2 tuning)."""
+
+import pytest
+
+from repro.gpu import MI100, V100, LaunchConfig, occupancy, validate_launch
+from repro.perf import mr_launch_config, st_launch_config
+from repro.lattice import get_lattice
+
+
+class TestLaunchConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaunchConfig(blocks=0, threads_per_block=64)
+        with pytest.raises(ValueError):
+            LaunchConfig(blocks=1, threads_per_block=64, shared_bytes_per_block=-1)
+
+    def test_st_config(self):
+        cfg = st_launch_config(1000, block_size=256)
+        assert cfg.blocks == 4
+        assert cfg.threads_per_block == 256
+        assert cfg.shared_bytes_per_block == 0
+
+    def test_mr_config_2d(self):
+        """Threads = (x_t+2)*y_t; shared = x_t*(y_t+2)*Q*8 (Section 3.2)."""
+        lat = get_lattice("D2Q9")
+        cfg = mr_launch_config(lat, (4096, 4096), (32,), w_t=8)
+        assert cfg.blocks == 128
+        assert cfg.threads_per_block == (32 + 2) * 8
+        assert cfg.shared_bytes_per_block == 32 * (8 + 2) * 9 * 8
+
+    def test_mr_config_3d(self):
+        """Threads = (x_t+2)(y_t+2)*z_t; shared = x_t*y_t*(z_t+2)*Q*8."""
+        lat = get_lattice("D3Q19")
+        cfg = mr_launch_config(lat, (256, 256, 256), (8, 8), w_t=1)
+        assert cfg.blocks == 32 * 32
+        assert cfg.threads_per_block == 10 * 10 * 1
+        assert cfg.shared_bytes_per_block == 8 * 8 * 3 * 19 * 8
+
+
+class TestValidateLaunch:
+    def test_too_many_threads(self):
+        with pytest.raises(ValueError, match="threads/block"):
+            validate_launch(V100, LaunchConfig(1, 2048))
+
+    def test_too_much_shared(self):
+        with pytest.raises(ValueError, match="shared memory"):
+            validate_launch(MI100, LaunchConfig(1, 64, 80 * 1024))
+
+    def test_v100_allows_96kb(self):
+        validate_launch(V100, LaunchConfig(1, 64, 96 * 1024))
+
+
+class TestOccupancy:
+    def test_shared_memory_limited(self):
+        cfg = LaunchConfig(1000, 100, shared_bytes_per_block=30 * 1024)
+        occ = occupancy(V100, cfg)
+        assert occ.blocks_per_sm == 3          # 96 KB / 30 KB
+        assert occ.limited_by == "shared_memory"
+        assert occ.meets_two_block_rule
+
+    def test_thread_limited(self):
+        cfg = LaunchConfig(1000, 1024, shared_bytes_per_block=1024)
+        occ = occupancy(V100, cfg)
+        assert occ.blocks_per_sm == 2          # 2048 / 1024
+        assert occ.limited_by == "threads"
+
+    def test_paper_mr_3d_two_block_rule(self):
+        """The 8x8x1 D3Q19 column kernel satisfies the 2-blocks/SM rule on
+        both devices — V100 via 96 KB, MI100 via 64 KB vs 28.5 KB."""
+        lat = get_lattice("D3Q19")
+        cfg = mr_launch_config(lat, (256, 256, 256), (8, 8))
+        assert occupancy(V100, cfg).meets_two_block_rule
+        assert occupancy(MI100, cfg).meets_two_block_rule
+
+    def test_d3q27_occupancy_cliff_on_mi100(self):
+        """Future-work lattice: the Q27 column kernel no longer fits two
+        blocks per CU on MI100's 64 KB LDS (motivates Section 5)."""
+        lat = get_lattice("D3Q27")
+        cfg = mr_launch_config(lat, (256, 256, 256), (8, 8))
+        assert occupancy(V100, cfg).blocks_per_sm == 2
+        assert occupancy(MI100, cfg).blocks_per_sm == 1
+        assert not occupancy(MI100, cfg).meets_two_block_rule
+
+    def test_impossible_kernel(self):
+        cfg = LaunchConfig(10, 64, shared_bytes_per_block=200 * 1024)
+        with pytest.raises(ValueError, match="cannot run"):
+            occupancy(V100, cfg)
+
+    def test_active_blocks_and_waves(self):
+        cfg = LaunchConfig(100, 256, shared_bytes_per_block=48 * 1024)
+        occ = occupancy(V100, cfg)              # 2 blocks/SM, capacity 160
+        assert occ.active_blocks == 100
+        assert occ.waves == 1
+        assert occ.tail_utilization == pytest.approx(100 / 160)
+
+    def test_multi_wave(self):
+        cfg = LaunchConfig(400, 256, shared_bytes_per_block=48 * 1024)
+        occ = occupancy(V100, cfg)
+        assert occ.waves == 3
+        assert occ.tail_utilization == pytest.approx(400 / 480)

@@ -1,0 +1,106 @@
+"""Unit tests for snapshot and checkpoint I/O."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_fields,
+    restore_checkpoint,
+    save_checkpoint,
+    save_fields,
+    write_vtk,
+)
+from repro.solver import make_solver, periodic_problem
+from repro.lattice import get_lattice
+from repro.geometry import periodic_box
+
+
+class TestSnapshots:
+    def test_npz_roundtrip(self, tmp_path, rng):
+        rho = 1 + 0.01 * rng.standard_normal((6, 5))
+        u = 0.02 * rng.standard_normal((2, 6, 5))
+        path = save_fields(tmp_path / "snap.npz", rho, u, time=42,
+                           extra_field=np.arange(3.0))
+        data = load_fields(path)
+        assert np.allclose(data["rho"], rho)
+        assert np.allclose(data["u"], u)
+        assert data["time"] == 42
+        assert np.allclose(data["extra_field"], [0, 1, 2])
+
+    def test_vtk_2d_structure(self, tmp_path, rng):
+        rho = np.ones((4, 3))
+        u = 0.01 * rng.standard_normal((2, 4, 3))
+        path = write_vtk(tmp_path / "out.vtk", rho, u)
+        text = path.read_text()
+        assert "DIMENSIONS 4 3 1" in text
+        assert "POINT_DATA 12" in text
+        assert "SCALARS density double 1" in text
+        assert "VECTORS velocity double" in text
+        # 12 density lines between the lookup table and the vectors.
+        assert text.count("\n") > 24
+
+    def test_vtk_3d(self, tmp_path):
+        rho = np.full((3, 3, 2), 1.1)
+        u = np.zeros((3, 3, 3, 2))
+        path = write_vtk(tmp_path / "out3.vtk", rho, u)
+        assert "DIMENSIONS 3 3 2" in path.read_text()
+
+    def test_vtk_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_vtk(tmp_path / "x.vtk", np.ones(5), np.zeros((1, 5)))
+        with pytest.raises(ValueError):
+            write_vtk(tmp_path / "x.vtk", np.ones((4, 4)), np.zeros((3, 4, 4)))
+
+    def test_vtk_order_x_fastest(self, tmp_path):
+        rho = np.arange(6.0).reshape(3, 2)       # rho[x, y]
+        u = np.zeros((2, 3, 2))
+        text = write_vtk(tmp_path / "o.vtk", rho, u).read_text()
+        lines = text.splitlines()
+        start = lines.index("LOOKUP_TABLE default") + 1
+        vals = [float(v) for v in lines[start:start + 6]]
+        # x fastest: (0,0),(1,0),(2,0),(0,1),(1,1),(2,1)
+        assert vals == [0, 2, 4, 1, 3, 5]
+
+
+class TestCheckpoints:
+    def _solver(self, scheme, seed=0):
+        rng = np.random.default_rng(seed)
+        u0 = 0.02 * rng.standard_normal((2, 6, 6))
+        return periodic_problem(scheme, "D2Q9", (6, 6), 0.8, u0=u0)
+
+    @pytest.mark.parametrize("scheme", ["ST", "MR-P", "MR-R"])
+    def test_roundtrip_continues_identically(self, tmp_path, scheme):
+        a = self._solver(scheme)
+        a.run(5)
+        path = save_checkpoint(tmp_path / "ck.npz", a)
+
+        b = self._solver(scheme)                  # same construction
+        restore_checkpoint(path, b)
+        assert b.time == 5
+        a.run(5)
+        b.run(5)
+        ra, ua = a.macroscopic()
+        rb, ub = b.macroscopic()
+        assert np.allclose(ra, rb, atol=1e-14)
+        assert np.allclose(ua, ub, atol=1e-14)
+
+    def test_scheme_mismatch_rejected(self, tmp_path):
+        a = self._solver("ST")
+        path = save_checkpoint(tmp_path / "ck.npz", a)
+        b = self._solver("MR-P")
+        with pytest.raises(ValueError, match="scheme"):
+            restore_checkpoint(path, b)
+
+    def test_domain_mismatch_rejected(self, tmp_path):
+        a = self._solver("ST")
+        path = save_checkpoint(tmp_path / "ck.npz", a)
+        lat = get_lattice("D2Q9")
+        b = make_solver("ST", lat, periodic_box((7, 6)), 0.8)
+        with pytest.raises(ValueError, match="domain"):
+            restore_checkpoint(path, b)
+
+    def test_mr_checkpoint_smaller_than_st(self, tmp_path):
+        """The compression claim applies to checkpoints too (M < Q)."""
+        st = save_checkpoint(tmp_path / "st.npz", self._solver("ST", 1))
+        mr = save_checkpoint(tmp_path / "mr.npz", self._solver("MR-P", 1))
+        assert mr.stat().st_size < st.stat().st_size

@@ -1,0 +1,90 @@
+"""Unit tests for the tile-configuration auto-tuner."""
+
+import pytest
+
+from repro.gpu import MI100, V100
+from repro.lattice import get_lattice
+from repro.perf import best_tile, enumerate_tiles, sweep_tiles
+
+
+@pytest.fixture
+def d3q19():
+    return get_lattice("D3Q19")
+
+
+@pytest.fixture
+def d3q27():
+    return get_lattice("D3Q27")
+
+
+class TestEnumeration:
+    def test_legal_configs_only(self, d3q19):
+        shape = (64, 64, 64)
+        configs = enumerate_tiles(d3q19, shape, V100)
+        assert configs
+        for tile, w_t in configs:
+            for extent, t in zip(shape[:-1], tile):
+                assert extent % t == 0
+            assert shape[-1] % w_t == 0
+
+    def test_respects_shared_memory_limit(self, d3q27):
+        """Tiles whose ring exceeds the MI100's 64 KB LDS are excluded."""
+        shape = (64, 64, 64)
+        mi = {t for t, _ in enumerate_tiles(d3q27, shape, MI100)}
+        v = {t for t, _ in enumerate_tiles(d3q27, shape, V100)}
+        assert (16, 8) in v            # 16*8*3*27*8 = 83 KB fits... on V100
+        assert (16, 8) not in mi
+
+    def test_2d_enumeration(self):
+        d2 = get_lattice("D2Q9")
+        configs = enumerate_tiles(d2, (256, 256), V100)
+        assert all(len(t) == 1 for t, _ in configs)
+        assert ((16,), 8) in configs
+
+
+class TestSweep:
+    def test_ranking_is_sorted(self, d3q19):
+        ranking = sweep_tiles(d3q19, (128, 128, 128), V100)
+        vals = [c.mflups for c in ranking]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_best_meets_two_block_rule_when_possible(self, d3q19):
+        best = best_tile(d3q19, (128, 128, 128), V100)
+        assert best.prediction.occupancy.meets_two_block_rule
+
+    def test_mi100_q27_retuning(self, d3q27):
+        """The tuner must avoid the MI100 occupancy cliff automatically."""
+        shape = (256, 256, 256)
+        best_v = best_tile(d3q27, shape, V100)
+        best_a = best_tile(d3q27, shape, MI100)
+        # On the MI100 the tuner must pick a tile small enough for >= 2
+        # blocks per CU, unlike the V100-optimal one.
+        ring_v = (best_v.tile_cross[0] * best_v.tile_cross[1]
+                  * (best_v.w_t + 2) * 27 * 8)
+        ring_a = (best_a.tile_cross[0] * best_a.tile_cross[1]
+                  * (best_a.w_t + 2) * 27 * 8)
+        assert ring_a <= MI100.shared_mem_per_sm_bytes // 2
+        assert best_a.prediction.occupancy.meets_two_block_rule
+        # And the tuned MI100 config beats the naive V100-optimal one there.
+        from repro.perf import PerformanceModel
+
+        naive = PerformanceModel(MI100).predict_shape(
+            d3q27, "MR-P", shape, tile_cross=(8, 8), w_t=1
+        )
+        if naive.occupancy.blocks_per_sm < 2:
+            assert best_a.mflups > naive.mflups
+
+    def test_halo_pessimistic_mode_prefers_wider_tiles(self, d3q19):
+        """Charging raw halo traffic rewards wide tiles (smaller halo)."""
+        shape = (128, 128, 128)
+        with_halo = sweep_tiles(d3q19, shape, V100, halo_traffic=True)
+        top = with_halo[0]
+        assert top.tile_cross[0] * top.tile_cross[1] >= 64
+
+    def test_no_legal_config_raises(self, d3q27):
+        # A 5^3 domain has no tile >= 2 dividing it except 5 itself... use
+        # a prime extent so only the full extent divides, and an absurd
+        # lattice/shared combination cannot even fit: force failure via
+        # w_t options that do not divide.
+        with pytest.raises(ValueError, match="no legal"):
+            best_tile(d3q27, (7, 7, 7), MI100, w_t_options=(4,))

@@ -1,0 +1,60 @@
+"""Unit tests for the markdown reproduction report.
+
+Uses the persistent traffic cache, so after the benchmark suite has run
+once these are fast; on a cold cache the measurements run for real.
+"""
+
+import pytest
+
+from repro.bench import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(include_figures=False)
+
+
+class TestReportContent:
+    def test_sections_present(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Table 1 — device features",
+            "## Table 2 — bytes per fluid lattice update",
+            "## Table 3 — roofline MFLUPS",
+            "## Table 4 — sustained bandwidth",
+            "## Memory footprint at 15M fluid nodes",
+            "## Headline speedups",
+            "## Recursive-regularization cost",
+        ):
+            assert heading in report_text, heading
+
+    def test_key_numbers_present(self, report_text):
+        # Table 2 B/F values.
+        for token in ("144", "304", "160"):
+            assert token in report_text
+        # Paper speedups.
+        for token in ("1.32x", "1.38x", "1.46x", "1.14x"):
+            assert token in report_text
+        # Device identities.
+        assert "V100" in report_text and "MI100" in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        lines = report_text.splitlines()
+        for k, line in enumerate(lines):
+            if line.startswith("|---"):
+                header = lines[k - 1]
+                assert header.count("|") == line.count("|"), header
+
+    def test_figures_toggle(self):
+        with_figs = build_report(include_figures=True)
+        assert "## Figure 2" in with_figs
+        assert "## Figure 3" in with_figs
+
+
+class TestWriteReport:
+    def test_writes_files(self, tmp_path):
+        out = write_report(tmp_path / "r.md", svg_dir=tmp_path / "figs")
+        assert out.exists()
+        assert "# Reproduction report" in out.read_text()
+        assert (tmp_path / "figs" / "figure2_d2q9.svg").exists()
+        assert (tmp_path / "figs" / "figure3_d3q19.svg").exists()

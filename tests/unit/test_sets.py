@@ -1,0 +1,88 @@
+"""Unit tests for the built-in velocity sets."""
+
+import numpy as np
+import pytest
+
+from repro.lattice import available_lattices, get_lattice
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_lattices()
+        for expected in ("D1Q3", "D2Q9", "D3Q15", "D3Q19", "D3Q27"):
+            assert expected in names
+
+    def test_case_insensitive(self):
+        assert get_lattice("d2q9") is get_lattice("D2Q9")
+
+    def test_cached_singletons(self):
+        assert get_lattice("D3Q19") is get_lattice("D3Q19")
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown lattice"):
+            get_lattice("D4Q42")
+
+
+class TestVelocitySets:
+    def test_d2q9_shells(self):
+        lat = get_lattice("D2Q9")
+        speeds = np.sort((lat.c ** 2).sum(axis=1))
+        assert list(speeds) == [0, 1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_d3q19_shells(self):
+        lat = get_lattice("D3Q19")
+        speeds = (lat.c ** 2).sum(axis=1)
+        assert (speeds == 0).sum() == 1
+        assert (speeds == 1).sum() == 6
+        assert (speeds == 2).sum() == 12
+        assert (speeds > 2).sum() == 0       # no corner velocities on Q19
+
+    def test_d3q27_shells(self):
+        lat = get_lattice("D3Q27")
+        speeds = (lat.c ** 2).sum(axis=1)
+        assert (speeds == 3).sum() == 8      # the corner velocities
+
+    def test_d3q15_shells(self):
+        lat = get_lattice("D3Q15")
+        speeds = (lat.c ** 2).sum(axis=1)
+        assert (speeds == 0).sum() == 1
+        assert (speeds == 1).sum() == 6
+        assert (speeds == 3).sum() == 8
+
+    def test_classical_weights(self):
+        d2 = get_lattice("D2Q9")
+        rest = np.where((d2.c == 0).all(axis=1))[0][0]
+        assert d2.w[rest] == pytest.approx(4 / 9)
+        d3 = get_lattice("D3Q19")
+        rest = np.where((d3.c == 0).all(axis=1))[0][0]
+        assert d3.w[rest] == pytest.approx(1 / 3)
+
+    def test_cs2(self, lattice):
+        # Single-speed lattices have cs2 = 1/3; multi-speed D3Q39 has 2/3.
+        expected = 2 / 3 if lattice.name == "D3Q39" else 1 / 3
+        assert lattice.cs2 == pytest.approx(expected)
+
+    def test_fourth_moment_isotropy_d3q27(self):
+        """Full single-speed Q27 satisfies fourth-order isotropy."""
+        lat = get_lattice("D3Q27")
+        c = lat.c.astype(float)
+        m4 = np.einsum("q,qa,qb,qc,qd->abcd", lat.w, c, c, c, c)
+        eye = np.eye(3)
+        iso = lat.cs4 * (
+            np.einsum("ab,cd->abcd", eye, eye)
+            + np.einsum("ac,bd->abcd", eye, eye)
+            + np.einsum("ad,bc->abcd", eye, eye)
+        )
+        assert np.allclose(m4, iso)
+
+    def test_d3q19_fourth_moments(self):
+        """D3Q19 satisfies the fourth-order relations used by Eq. 4."""
+        lat = get_lattice("D3Q19")
+        c = lat.c.astype(float)
+        m4 = np.einsum("q,qa,qb,qc,qd->abcd", lat.w, c, c, c, c)
+        assert m4[0, 0, 1, 1] == pytest.approx(lat.cs4)
+        # Single-speed identity: c_a^4 = c_a^2, so the diagonal equals cs2.
+        assert m4[0, 0, 0, 0] == pytest.approx(lat.cs2)
+        # Sixth-order deficiency (why H3_xyz vanishes): no corner speeds.
+        m6 = np.einsum("q,qa,qb,qc->abc", lat.w, c ** 2, c ** 2, c ** 2)
+        assert m6[0, 1, 2] == pytest.approx(0.0)

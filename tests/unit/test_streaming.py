@@ -1,0 +1,87 @@
+"""Unit tests for streaming (Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import pull_gather, stream_pull, stream_push, streaming_offsets
+
+
+class TestStreamPush:
+    def test_displaces_by_velocity(self, lattice, rng):
+        grid = (5,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        out = stream_push(lattice, f)
+        x0 = (1,) * lattice.d
+        for i in range(lattice.q):
+            dest = tuple((np.array(x0) + lattice.c[i]) % 5)
+            assert out[i][dest] == f[i][x0]
+
+    def test_conserves_mass_per_component(self, lattice, rng):
+        grid = (4,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        out = stream_push(lattice, f)
+        assert np.allclose(out.sum(axis=tuple(range(1, 1 + lattice.d))),
+                           f.sum(axis=tuple(range(1, 1 + lattice.d))))
+
+    def test_rest_component_unchanged(self, lattice, rng):
+        grid = (4,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        rest = np.where((lattice.c == 0).all(axis=1))[0][0]
+        out = stream_push(lattice, f)
+        assert np.array_equal(out[rest], f[rest])
+
+    def test_roundtrip_with_opposite(self, lattice, rng):
+        """Streaming then streaming the opposite set restores the field."""
+        grid = (4,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        once = stream_push(lattice, f)
+        # Stream each component backwards by using the opposite velocity.
+        back = stream_push(lattice, once[lattice.opposite])[lattice.opposite]
+        assert np.allclose(back, f)
+
+    def test_out_buffer(self, lattice, rng):
+        grid = (4,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        buf = np.empty_like(f)
+        out = stream_push(lattice, f, out=buf)
+        assert out is buf
+        assert np.allclose(out, stream_push(lattice, f))
+
+    def test_period_equals_grid_extent(self, lattice, rng):
+        """Streaming N times on an N-periodic grid is the identity."""
+        n = 4
+        grid = (n,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        out = f
+        for _ in range(n):
+            out = stream_push(lattice, out)
+        assert np.allclose(out, f)
+
+
+class TestPullForms:
+    def test_pull_equals_push_displacement(self, lattice, rng):
+        grid = (4,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        assert np.allclose(stream_pull(lattice, f), stream_push(lattice, f))
+
+    def test_pull_gather_matches_roll(self, lattice, rng):
+        grid = (5,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        mesh = np.meshgrid(*[np.arange(s) for s in grid], indexing="ij")
+        idx = tuple(m.ravel() for m in mesh)
+        gathered = pull_gather(lattice, f, idx)
+        assert np.allclose(gathered.reshape(lattice.q, *grid),
+                           stream_push(lattice, f))
+
+    def test_pull_gather_subset(self, lattice, rng):
+        grid = (5,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        node = tuple(np.array([2]) for _ in range(lattice.d))
+        g = pull_gather(lattice, f, node)
+        for i in range(lattice.q):
+            src = tuple((2 - lattice.c[i, a]) % 5 for a in range(lattice.d))
+            assert g[i, 0] == f[i][src]
+
+
+def test_streaming_offsets_alias(lattice):
+    assert streaming_offsets(lattice) is lattice.c

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Run every example script; fail fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for ex in examples/*.py; do
+    echo "=== $ex ==="
+    python "$ex"
+    echo
+done
+echo "all examples passed"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: tests, benchmarks, report, figures.
+# Usage: tools/run_full_reproduction.sh [output_dir]
+set -euo pipefail
+
+OUT="${1:-reproduction_output}"
+mkdir -p "$OUT"
+
+echo "== 1/4 correctness suite =="
+python -m pytest tests/ -q 2>&1 | tee "$OUT/test_output.txt" | tail -2
+
+echo "== 2/4 table/figure benchmarks =="
+python -m pytest benchmarks/ --benchmark-only -q 2>&1 \
+  | tee "$OUT/bench_output.txt" | tail -2
+cp -r benchmarks/results "$OUT/bench_artifacts"
+
+echo "== 3/4 reproduction report =="
+python -m repro report --output "$OUT/report.md" --svg-dir "$OUT/figures"
+
+echo "== 4/4 quick physics validation =="
+python -m repro validate --fast | tee "$OUT/validate.txt"
+
+echo
+echo "done: see $OUT/ (report.md, figures/, bench_artifacts/)"
