@@ -17,7 +17,8 @@ subpackages for the full API:
 * :mod:`repro.gpu` — virtual-GPU substrate (devices, memory tracking,
   block executor, ST and MR kernels).
 * :mod:`repro.perf` — roofline, footprint and MFLUPS performance models.
-* :mod:`repro.perf` — roofline, footprint and MFLUPS performance models.
+* :mod:`repro.obs` — telemetry, exporters, run manifests, stability
+  watchdog and the profiling harness.
 * :mod:`repro.parallel` — distributed slab decomposition.
 * :mod:`repro.analysis` — observables, forces, stability margins.
 * :mod:`repro.refinement` — two-level grid refinement.

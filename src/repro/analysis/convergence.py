@@ -8,7 +8,7 @@ fit the order as the log-log slope.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 

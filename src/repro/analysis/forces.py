@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..geometry import Domain
-from ..lattice import LatticeDescriptor
 from ..solver import MRPSolver, MRRSolver, Solver, STSolver
 
 __all__ = ["MomentumExchangeForce", "drag_lift_coefficients"]

@@ -15,14 +15,14 @@ from dataclasses import asdict, dataclass
 from functools import lru_cache
 from pathlib import Path
 
-import numpy as np
 
 from ..gpu import KernelProblem, MemoryTracker, MRKernel, STKernel
-from ..gpu.device import GPUDevice, get_device
-from ..lattice import LatticeDescriptor, get_lattice
+from ..gpu.device import get_device
+from ..lattice import get_lattice
 from ..solver.presets import channel_inlet_profile
 
-__all__ = ["TrafficMeasurement", "measure_channel_traffic", "measurement_shape"]
+__all__ = ["TrafficMeasurement", "measure_channel_traffic",
+           "measurement_shape", "publish_measurement"]
 
 
 @dataclass(frozen=True)
@@ -99,6 +99,20 @@ def measure_channel_traffic(scheme: str, lattice: str, device: str = "V100",
     cache[key] = asdict(meas)
     _store_cache(cache)
     return meas
+
+
+def publish_measurement(telemetry, meas: TrafficMeasurement,
+                        prefix: str = "traffic") -> None:
+    """Publish a traffic measurement into a telemetry registry as gauges,
+    namespaced ``traffic.<SCHEME>.<lattice>.*`` so multi-scheme bench runs
+    coexist in one registry."""
+    if not telemetry.enabled:
+        return
+    ns = f"{prefix}.{meas.scheme}.{meas.lattice}"
+    telemetry.gauge(f"{ns}.dram_bytes_per_node", meas.dram_bytes_per_node)
+    telemetry.gauge(f"{ns}.dram_read_per_node", meas.dram_read_per_node)
+    telemetry.gauge(f"{ns}.dram_write_per_node", meas.dram_write_per_node)
+    telemetry.gauge(f"{ns}.logical_bytes_per_node", meas.logical_bytes_per_node)
 
 
 def _measure_channel_traffic(scheme, lattice, device, shape, tile_cross,

@@ -7,14 +7,9 @@ rows. The benchmark suite prints these and asserts the reproduction bands.
 
 from __future__ import annotations
 
-from ..gpu.device import MI100, V100, GPUDevice
+from ..gpu.device import MI100, V100
 from ..lattice import get_lattice
-from ..perf import (
-    PerformanceModel,
-    bandwidth_efficiency,
-    bytes_per_flup,
-    roofline_mflups,
-)
+from ..perf import PerformanceModel, bytes_per_flup, roofline_mflups
 from .measure import measure_channel_traffic
 
 __all__ = [

@@ -3,10 +3,18 @@
 Subcommands
 -----------
 ``run``      Run a channel or Taylor-Green simulation with any scheme.
+``profile``  Per-phase time/traffic breakdown for a short workload.
 ``tables``   Regenerate the paper's Tables 1-4.
 ``figures``  Regenerate the paper's Figures 2-3 (text rendering).
 ``summary``  Regenerate the headline claims (footprint, speedups, MR-R cost).
 ``devices``  Show the modelled GPU devices.
+
+``run`` takes observability flags (see ``docs/observability.md``):
+``--metrics out.jsonl`` streams per-report-interval metric records,
+``--trace out.json`` writes a Chrome trace-event file of the
+collide/stream/boundary phase spans, ``--manifest`` writes a
+reproducibility manifest next to the output, and ``--watchdog N`` aborts
+cleanly on NaN/Inf/over-speed divergence sampled every N steps.
 """
 
 from __future__ import annotations
@@ -15,7 +23,6 @@ import argparse
 import sys
 import time
 
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -39,6 +46,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--bc", default="regularized-fd", choices=["regularized-fd", "nebb"])
     run.add_argument("--output", default=None, help="write final fields to .npz/.vtk")
     run.add_argument("--report-interval", type=int, default=200)
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="stream per-report metric records to a JSON-lines file")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome trace-event file of the phase spans")
+    run.add_argument("--manifest", default=None, metavar="PATH", nargs="?",
+                     const="", help="write a run manifest JSON (default: "
+                     "next to --output, or run.manifest.json)")
+    run.add_argument("--watchdog", type=int, default=0, metavar="N",
+                     help="check for NaN/Inf/over-speed divergence every N "
+                     "steps (0 = off)")
+
+    prof = sub.add_parser(
+        "profile", help="per-phase time/traffic breakdown for a short workload")
+    prof.add_argument("--scheme", default="MR-P",
+                      choices=["ST", "MR-P", "MR-R", "AA", "all"])
+    prof.add_argument("--lattice", default="D2Q9")
+    prof.add_argument("--shape", default=None,
+                      help="comma-separated grid shape (default: small 2D/3D)")
+    prof.add_argument("--steps", type=int, default=40)
+    prof.add_argument("--tau", type=float, default=0.8)
+    prof.add_argument("--device", default="V100",
+                      help="device for the traffic measurement / roofline")
+    prof.add_argument("--no-traffic", action="store_true",
+                      help="skip the virtual-GPU DRAM traffic measurement")
+    prof.add_argument("--json", default=None, metavar="PATH",
+                      help="also dump the raw profile results as JSON")
 
     sub.add_parser("tables", help="regenerate paper Tables 1-4")
     fig = sub.add_parser("figures", help="regenerate paper Figures 2-3")
@@ -89,15 +122,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     n_fluid = solver.domain.n_fluid
     t0 = time.perf_counter()
 
+    telemetry = None
+    metrics = None
+    if args.metrics or args.trace:
+        from .obs import Telemetry
+
+        telemetry = Telemetry()
+        solver.attach_telemetry(telemetry)
+    if args.metrics:
+        from .obs import JsonLinesExporter
+
+        metrics = JsonLinesExporter(args.metrics)
+
     def report(s):
         elapsed = time.perf_counter() - t0
         mflups = n_fluid * s.time / elapsed / 1e6
         print(f"  step {s.time:7d}  max|u| = {s.diagnostics.max_speed():.5f}  "
               f"mass = {s.diagnostics.mass():.6e}  ({mflups:.2f} CPU-MFLUPS)")
+        if metrics is not None:
+            metrics.write({
+                "step": s.time,
+                "elapsed_s": elapsed,
+                "mlups": mflups,
+                "max_speed": s.diagnostics.max_speed(),
+                "mass": s.diagnostics.mass(),
+            })
+
+    callback = report
+    if args.watchdog > 0:
+        from .obs import StabilityWatchdog
+
+        watchdog = StabilityWatchdog(
+            every=args.watchdog,
+            telemetry=telemetry if telemetry is not None else None)
+
+        def callback(s, _report=report, _wd=watchdog):
+            _wd(s)
+            if s.time % args.report_interval == 0:
+                _report(s)
+
+        callback_interval = 1
+    else:
+        callback_interval = args.report_interval
 
     print(f"{args.scheme} / {args.lattice} on {shape} "
           f"({n_fluid:,} fluid nodes), tau = {args.tau}")
-    solver.run(args.steps, callback=report, callback_interval=args.report_interval)
+    try:
+        from .obs import StabilityError
+
+        try:
+            solver.run(args.steps, callback=callback,
+                       callback_interval=callback_interval)
+        except StabilityError as err:
+            import json as _json
+
+            print(f"ABORTED: {err}", file=sys.stderr)
+            print(_json.dumps(err.report, indent=2), file=sys.stderr)
+            return 2
+    finally:
+        if metrics is not None:
+            if telemetry is not None:
+                metrics.write({"summary": telemetry.summary(),
+                               "n_fluid": n_fluid,
+                               "mlups": telemetry.mlups(n_fluid)})
+            metrics.close()
+            print(f"wrote {args.metrics}")
+        if telemetry is not None and args.trace:
+            from .obs import write_chrome_trace
+
+            write_chrome_trace(telemetry, args.trace)
+            print(f"wrote {args.trace} (load in chrome://tracing)")
 
     if args.output:
         from .io import save_fields, write_vtk
@@ -108,6 +202,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             save_fields(args.output, rho, u, time=solver.time)
         print(f"wrote {args.output}")
+
+    if args.manifest is not None:
+        from .obs import manifest_path_for, write_manifest
+
+        if args.manifest:
+            mpath = args.manifest
+        elif args.output:
+            mpath = manifest_path_for(args.output)
+        else:
+            mpath = "run.manifest.json"
+        write_manifest(mpath, solver, problem=args.problem,
+                       u_max=args.u_max, bc=args.bc,
+                       command="mrlbm run")
+        print(f"wrote {mpath}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import PROFILE_SCHEMES, format_profile, profile_scheme
+
+    shape = None
+    if args.shape:
+        shape = tuple(int(s) for s in args.shape.split(","))
+    schemes = PROFILE_SCHEMES if args.scheme == "all" else (args.scheme,)
+    results = []
+    for i, scheme in enumerate(schemes):
+        result = profile_scheme(scheme, lattice=args.lattice, shape=shape,
+                                steps=args.steps, tau=args.tau,
+                                device=args.device,
+                                measure_traffic=not args.no_traffic)
+        results.append(result)
+        if i:
+            print()
+        print(format_profile(result))
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.json).write_text(_json.dumps(results, indent=2))
+        print(f"\nwrote {args.json}")
     return 0
 
 
@@ -300,6 +434,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "profile": _cmd_profile,
         "tables": _cmd_tables,
         "figures": _cmd_figures,
         "summary": _cmd_summary,

@@ -28,12 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..lattice import LatticeDescriptor
-from .equilibrium import (
-    a3_equilibrium_cols,
-    a4_equilibrium_cols,
-    equilibrium,
-    equilibrium_moments,
-)
+from .equilibrium import a3_equilibrium_cols, a4_equilibrium_cols, equilibrium
 from .moments import f_from_moments, macroscopic, split_moments
 from .regularization import (
     hermite_delta_higher_order,

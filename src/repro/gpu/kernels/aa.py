@@ -28,8 +28,9 @@ import numpy as np
 
 from ...core.equilibrium import equilibrium
 from ...core.moments import macroscopic
+from ...obs.telemetry import NULL_TELEMETRY
 from ..device import GPUDevice
-from ..launch import LaunchConfig, LaunchStats, validate_launch
+from ..launch import LaunchConfig, LaunchStats, publish_launch, validate_launch
 from ..memory import GlobalArray, MemoryTracker
 from .problem import KernelProblem
 
@@ -43,12 +44,14 @@ class AAKernel:
 
     def __init__(self, problem: KernelProblem, device: GPUDevice,
                  tracker: MemoryTracker | None = None, block_size: int = 256,
-                 rho0: np.ndarray | float = 1.0, u0: np.ndarray | None = None):
+                 rho0: np.ndarray | float = 1.0, u0: np.ndarray | None = None,
+                 telemetry=None):
         if problem.mode != "periodic":
             raise ValueError("the AA kernel supports periodic domains only")
         self.problem = problem
         self.device = device
         self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         lat = problem.lat
         self.n = problem.n_nodes
         self.shape = problem.shape
@@ -91,22 +94,26 @@ class AAKernel:
         self.tracker.report = type(saved)()
 
         even = self.time % 2 == 0
-        for b in range(self.config.blocks):
-            idx = np.arange(b * bs, min((b + 1) * bs, self.n), dtype=np.int64)
-            if even:
-                self._even_block(idx)
-            else:
-                self._odd_block(idx)
+        with self.telemetry.phase("gpu.step"):
+            for b in range(self.config.blocks):
+                idx = np.arange(b * bs, min((b + 1) * bs, self.n),
+                                dtype=np.int64)
+                if even:
+                    self._even_block(idx)
+                else:
+                    self._odd_block(idx)
 
         traffic = self.tracker.report
         self.tracker.report = saved + traffic
         self.time += 1
-        return LaunchStats(
+        stats = LaunchStats(
             config=self.config,
             traffic=traffic,
             n_nodes=self.n,
             kernel_name=f"AA-{'even' if even else 'odd'}/{lat.name}",
         )
+        publish_launch(self.telemetry, stats)
+        return stats
 
     def _collide(self, f_in: np.ndarray) -> np.ndarray:
         lat = self.problem.lat

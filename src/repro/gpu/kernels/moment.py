@@ -44,8 +44,15 @@ import numpy as np
 
 from ...core.collision import collide_moments_projective, collide_moments_recursive
 from ...core.moments import f_from_moments, macroscopic
+from ...obs.telemetry import NULL_TELEMETRY
 from ..device import GPUDevice
-from ..launch import LaunchConfig, LaunchStats, occupancy, validate_launch
+from ..launch import (
+    LaunchConfig,
+    LaunchStats,
+    occupancy,
+    publish_launch,
+    validate_launch,
+)
 from ..memory import GlobalArray, MemoryTracker
 from .problem import KernelProblem
 
@@ -206,13 +213,15 @@ class MRKernel:
     def __init__(self, problem: KernelProblem, device: GPUDevice,
                  scheme: str = "MR-P", tile_cross: tuple[int, ...] | None = None,
                  w_t: int = 1, tracker: MemoryTracker | None = None,
-                 rho0: np.ndarray | float = 1.0, u0: np.ndarray | None = None):
+                 rho0: np.ndarray | float = 1.0, u0: np.ndarray | None = None,
+                 telemetry=None):
         if scheme not in ("MR-P", "MR-R"):
             raise ValueError(f"scheme must be 'MR-P' or 'MR-R', got {scheme!r}")
         self.problem = problem
         self.device = device
         self.scheme = scheme
         self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         lat = problem.lat
         if np.abs(lat.c).max() > 1:
             raise ValueError(
@@ -340,22 +349,25 @@ class MRKernel:
         write_base = (self.read_base - self.shift_elems) % self.array_len
         states = [_ColumnState(g, self.w_t, lat.q) for g in self._geos]
 
-        for tau in range(self.n_tiles):
+        with self.telemetry.phase("gpu.step"):
+            for tau in range(self.n_tiles):
+                for geo, st in zip(self._geos, states):
+                    self._column_iteration(geo, st, tau, write_base)
             for geo, st in zip(self._geos, states):
-                self._column_iteration(geo, st, tau, write_base)
-        for geo, st in zip(self._geos, states):
-            self._column_epilogue(geo, st, write_base)
+                self._column_epilogue(geo, st, write_base)
 
         traffic = self.tracker.report
         self.tracker.report = saved + traffic
         self.read_base = write_base
         self.time += 1
-        return LaunchStats(
+        stats = LaunchStats(
             config=self.config,
             traffic=traffic,
             n_nodes=self.n,
             kernel_name=f"{self.scheme}/{lat.name}",
         )
+        publish_launch(self.telemetry, stats)
+        return stats
 
     # ------------------------------------------------------------------
     # Column phases

@@ -21,8 +21,9 @@ import numpy as np
 
 from ...core.equilibrium import equilibrium
 from ...core.moments import macroscopic
+from ...obs.telemetry import NULL_TELEMETRY
 from ..device import GPUDevice
-from ..launch import LaunchConfig, LaunchStats, validate_launch
+from ..launch import LaunchConfig, LaunchStats, publish_launch, validate_launch
 from ..memory import GlobalArray, MemoryTracker
 from .problem import KernelProblem
 
@@ -37,10 +38,11 @@ class STKernel:
     def __init__(self, problem: KernelProblem, device: GPUDevice,
                  tracker: MemoryTracker | None = None, block_size: int = 256,
                  rho0: np.ndarray | float = 1.0, u0: np.ndarray | None = None,
-                 force: np.ndarray | None = None):
+                 force: np.ndarray | None = None, telemetry=None):
         self.problem = problem
         self.device = device
         self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         lat = problem.lat
         self.n = problem.n_nodes
         self.shape = problem.shape
@@ -138,20 +140,24 @@ class STKernel:
         start_traffic = self.tracker.report
         self.tracker.report = type(start_traffic)()
 
-        for b in range(self.config.blocks):
-            idx = np.arange(b * bs, min((b + 1) * bs, self.n), dtype=np.int64)
-            self._run_block(idx)
+        with self.telemetry.phase("gpu.step"):
+            for b in range(self.config.blocks):
+                idx = np.arange(b * bs, min((b + 1) * bs, self.n),
+                                dtype=np.int64)
+                self._run_block(idx)
 
         traffic = self.tracker.report
         self.tracker.report = start_traffic + traffic
         self.f1, self.f2 = self.f2, self.f1
         self.time += 1
-        return LaunchStats(
+        stats = LaunchStats(
             config=self.config,
             traffic=traffic,
             n_nodes=self.n,
             kernel_name=f"ST/{lat.name}",
         )
+        publish_launch(self.telemetry, stats)
+        return stats
 
     def _run_block(self, idx: np.ndarray) -> None:
         lat = self.problem.lat

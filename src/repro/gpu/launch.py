@@ -12,12 +12,13 @@ performance model.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .device import GPUDevice
 from .memory import TrafficReport
 
-__all__ = ["LaunchConfig", "Occupancy", "LaunchStats", "occupancy", "validate_launch"]
+__all__ = ["LaunchConfig", "Occupancy", "LaunchStats", "occupancy",
+           "validate_launch", "publish_launch"]
 
 
 @dataclass(frozen=True)
@@ -111,3 +112,21 @@ class LaunchStats:
 
     def flops_per_node(self) -> float:
         return self.flops / self.n_nodes
+
+
+def publish_launch(telemetry, stats: LaunchStats) -> None:
+    """Record one kernel launch into a telemetry registry.
+
+    Accumulates launch/node/FLOP counters and the full traffic report
+    (logical bytes, 32-byte sector bytes, read/write transactions) under
+    the ``gpu.*`` namespace. A no-op with :data:`~repro.obs.NULL_TELEMETRY`.
+    """
+    if not telemetry.enabled:
+        return
+    telemetry.count("gpu.launches")
+    telemetry.count("gpu.nodes", stats.n_nodes)
+    if stats.flops:
+        telemetry.count("gpu.flops", stats.flops)
+    telemetry.record_traffic(stats.traffic)
+    if stats.kernel_name:
+        telemetry.count(f"gpu.launches.{stats.kernel_name}")

@@ -18,7 +18,7 @@ kernels where inter-block reuse is limited to one-node halos.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,5 +1,17 @@
-"""Snapshot and checkpoint I/O."""
+"""Snapshot and checkpoint I/O.
 
+Run manifests (reproducibility metadata written alongside outputs and
+checkpoints) live in :mod:`repro.obs.manifest`; the common entry points
+are re-exported here because they travel with the files this package
+writes.
+"""
+
+from ..obs.manifest import (
+    RunManifest,
+    load_manifest,
+    manifest_path_for,
+    write_manifest,
+)
 from .checkpoint import restore_checkpoint, save_checkpoint
 from .snapshots import load_fields, save_fields, write_vtk
 
@@ -9,4 +21,8 @@ __all__ = [
     "write_vtk",
     "save_checkpoint",
     "restore_checkpoint",
+    "RunManifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_path_for",
 ]

@@ -17,10 +17,21 @@ from ..solver import MRPSolver, MRRSolver, Solver, STSolver
 __all__ = ["save_checkpoint", "restore_checkpoint"]
 
 
-def save_checkpoint(path: str | Path, solver: Solver) -> Path:
-    """Write the solver's persistent state to an ``.npz`` checkpoint."""
+def save_checkpoint(path: str | Path, solver: Solver,
+                    manifest: bool = False, seed: int | None = None) -> Path:
+    """Write the solver's persistent state to an ``.npz`` checkpoint.
+
+    With ``manifest=True`` a :class:`~repro.obs.RunManifest` JSON (scheme,
+    lattice, shape, tau, seed, package version, platform) is written next
+    to the checkpoint at :func:`~repro.obs.manifest_path_for`'s location.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if manifest:
+        from ..obs.manifest import manifest_path_for, write_manifest
+
+        write_manifest(manifest_path_for(path), solver, seed=seed,
+                       artifact=path.name, kind="checkpoint")
     payload = {
         "scheme": np.asarray(solver.name),
         "lattice": np.asarray(solver.lat.name),

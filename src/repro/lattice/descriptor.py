@@ -26,12 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .hermite import (
-    distinct_index_tuples,
-    distinct_tensor_columns,
-    hermite_tensors,
-    index_multiplicity,
-)
+from .hermite import distinct_tensor_columns, hermite_tensors
 
 __all__ = ["LatticeDescriptor", "build_descriptor"]
 

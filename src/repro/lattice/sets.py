@@ -16,7 +16,6 @@ from __future__ import annotations
 import itertools
 from functools import lru_cache
 
-import numpy as np
 
 from .descriptor import LatticeDescriptor, build_descriptor
 

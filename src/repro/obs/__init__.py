@@ -1,0 +1,50 @@
+"""Observability layer: telemetry, exporters, manifests, watchdog, profiling.
+
+A unified measurement substrate shared by the reference solvers, the
+virtual-GPU kernels, the bench harness and the CLI (see
+``docs/observability.md``):
+
+* :class:`Telemetry` — counters, gauges, hierarchical phase timers and
+  derived throughput (MLUPS, effective sector GB/s);
+* :data:`NULL_TELEMETRY` — the zero-overhead disabled default;
+* :class:`JsonLinesExporter` / :func:`write_csv_summary` /
+  :func:`write_chrome_trace` — metric and span exporters;
+* :class:`RunManifest` — reproducibility metadata written alongside
+  outputs and checkpoints;
+* :class:`StabilityWatchdog` — cadence-sampled NaN/Inf/over-speed abort
+  with a structured report;
+* :func:`profile_scheme` — the harness behind ``mrlbm profile``.
+"""
+
+from .exporters import (
+    JsonLinesExporter,
+    read_jsonl,
+    write_chrome_trace,
+    write_csv_summary,
+)
+from .manifest import RunManifest, load_manifest, manifest_path_for, write_manifest
+from .profile import PROFILE_SCHEMES, format_profile, profile_scheme
+from .telemetry import NULL_TELEMETRY, NullTelemetry, PhaseStats, Span, Telemetry
+from .watchdog import SOUND_SPEED, StabilityError, StabilityWatchdog
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "PhaseStats",
+    "Span",
+    "JsonLinesExporter",
+    "read_jsonl",
+    "write_csv_summary",
+    "write_chrome_trace",
+    "RunManifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_path_for",
+    "StabilityWatchdog",
+    "StabilityError",
+    "SOUND_SPEED",
+    "profile_scheme",
+    "format_profile",
+    "PROFILE_SCHEMES",
+]

@@ -1,0 +1,129 @@
+"""Telemetry exporters: JSON-lines metrics, CSV summaries, Chrome traces.
+
+Three complementary views of one :class:`~repro.obs.telemetry.Telemetry`
+registry:
+
+* :class:`JsonLinesExporter` — an append-only ``.jsonl`` stream of metric
+  records, one JSON object per line (easy to ``jq``/pandas, safe to tail
+  while a run is in progress);
+* :func:`write_csv_summary` — a flat ``kind,name,...`` CSV of final
+  counters, gauges and phase statistics for spreadsheets;
+* :func:`write_chrome_trace` — Chrome trace-event JSON (complete ``"X"``
+  events) loadable in ``chrome://tracing`` / Perfetto for span-level
+  inspection of the ``step/collide``/``step/stream`` hierarchy.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .telemetry import Telemetry
+
+__all__ = [
+    "JsonLinesExporter",
+    "read_jsonl",
+    "write_csv_summary",
+    "write_chrome_trace",
+]
+
+
+class JsonLinesExporter:
+    """Append metric records to a JSON-lines file.
+
+    Usable as a context manager; each :meth:`write` emits one line and
+    flushes, so partially-written runs remain loadable.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSON-lines file back into a list of records."""
+    records = []
+    with open(Path(path), encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def write_csv_summary(telemetry: Telemetry, path: str | Path) -> Path:
+    """Write final counters/gauges/phase statistics as a flat CSV.
+
+    Rows carry a ``kind`` discriminator: phase rows fill the timing
+    columns, counter/gauge rows only ``value``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        w = csv.writer(fh)
+        w.writerow(["kind", "name", "value", "calls",
+                    "total_s", "mean_s", "min_s", "max_s"])
+        for name, stats in sorted(telemetry.phases.items()):
+            d = stats.to_dict()
+            w.writerow(["phase", name, "", d["calls"], f"{d['total_s']:.9f}",
+                        f"{d['mean_s']:.9f}", f"{d['min_s']:.9f}",
+                        f"{d['max_s']:.9f}"])
+        for name, value in sorted(telemetry.counters.items()):
+            w.writerow(["counter", name, repr(value), "", "", "", "", ""])
+        for name, value in sorted(telemetry.gauges.items()):
+            w.writerow(["gauge", name, repr(value), "", "", "", "", ""])
+    return path
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str | Path,
+                       pid: int = 0, tid: int = 0) -> Path:
+    """Write recorded spans as a Chrome trace-event file.
+
+    The output is the standard ``{"traceEvents": [...]}`` JSON object with
+    complete (``"ph": "X"``) events in microseconds, which
+    ``chrome://tracing`` and https://ui.perfetto.dev load directly. Span
+    nesting is reconstructed by the viewer from timestamps; the full
+    hierarchical path is kept in ``args.path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    events = []
+    for span in telemetry.spans:
+        events.append({
+            "name": span.name.rpartition("/")[2],
+            "cat": "phase",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": {"path": span.name, "depth": span.depth},
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(telemetry.counters),
+            "gauges": dict(telemetry.gauges),
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return path

@@ -1,0 +1,102 @@
+"""Run manifests: reproducibility metadata written alongside outputs.
+
+A :class:`RunManifest` captures everything needed to re-run (or audit) a
+simulation whose fields/checkpoint live next to it on disk: scheme,
+lattice, grid shape, relaxation time, RNG seed, package version and the
+host platform. Manifests are plain JSON so any tool can read them, and
+are written by the CLI (``mrlbm run --manifest``) and the checkpoint
+writer (``save_checkpoint(..., manifest=True)``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["RunManifest", "write_manifest", "load_manifest", "manifest_path_for"]
+
+
+def _platform_info() -> dict:
+    import numpy as np
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": _platform.python_implementation(),
+        "system": _platform.system(),
+        "machine": _platform.machine(),
+        "numpy": np.__version__,
+    }
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility metadata for one simulation run."""
+
+    scheme: str
+    lattice: str
+    shape: tuple[int, ...]
+    tau: float
+    seed: int | None = None
+    steps: int | None = None
+    version: str = ""
+    platform: dict = field(default_factory=dict)
+    created_unix: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_solver(cls, solver, seed: int | None = None,
+                    **extra) -> "RunManifest":
+        """Build a manifest from a live solver (duck-typed: needs ``name``,
+        ``lat``, ``domain``, ``tau``, ``time``)."""
+        from .. import __version__
+
+        return cls(
+            scheme=solver.name,
+            lattice=solver.lat.name,
+            shape=tuple(solver.domain.shape),
+            tau=float(solver.tau),
+            seed=seed,
+            steps=int(solver.time),
+            version=__version__,
+            platform=_platform_info(),
+            created_unix=time.time(),
+            extra=dict(extra),
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["shape"] = list(self.shape)
+        return d
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        return path
+
+
+def manifest_path_for(output_path: str | Path) -> Path:
+    """Conventional manifest location next to an output file:
+    ``flow.npz`` → ``flow.manifest.json``."""
+    p = Path(output_path)
+    return p.with_name(p.stem + ".manifest.json")
+
+
+def write_manifest(path: str | Path, solver, seed: int | None = None,
+                   **extra) -> Path:
+    """Write a manifest for ``solver`` to ``path`` (returns the path)."""
+    return RunManifest.from_solver(solver, seed=seed, **extra).write(path)
+
+
+def load_manifest(path: str | Path) -> RunManifest:
+    """Load a manifest JSON back into a :class:`RunManifest`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    data["shape"] = tuple(data.get("shape", ()))
+    known = {f for f in RunManifest.__dataclass_fields__}
+    kwargs = {k: v for k, v in data.items() if k in known}
+    return RunManifest(**kwargs)

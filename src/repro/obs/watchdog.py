@@ -1,0 +1,124 @@
+"""Stability watchdog: abort diverging runs with a structured report.
+
+LBM divergence is silent by default — NaNs appear in a corner, spread for
+thousands of steps, and the run "completes" producing garbage. The
+:class:`StabilityWatchdog` is a run callback that samples the macroscopic
+fields on a cadence and raises :class:`StabilityError` the moment it sees
+
+* non-finite density or velocity on a fluid node,
+* non-positive density, or
+* speeds beyond a limit (default: the lattice sound speed
+  ``c_s = 1/sqrt(3)``, past which the low-Mach expansion is meaningless).
+
+The raised error carries a machine-readable ``report`` dict (step, scheme,
+offending-node counts, worst values) so harnesses can log exactly *when*
+and *how* a run died instead of inspecting corrupted output.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .telemetry import NULL_TELEMETRY
+
+__all__ = ["StabilityWatchdog", "StabilityError", "SOUND_SPEED"]
+
+#: Lattice sound speed in lattice units (all paper lattices share it).
+SOUND_SPEED = 1.0 / math.sqrt(3.0)
+
+
+class StabilityError(RuntimeError):
+    """Raised by the watchdog; ``report`` holds the structured diagnosis."""
+
+    def __init__(self, message: str, report: dict):
+        super().__init__(message)
+        self.report = report
+
+
+class StabilityWatchdog:
+    """Run callback that samples for divergence every ``every`` steps.
+
+    Parameters
+    ----------
+    every:
+        Sampling cadence in steps (checked against ``solver.time``, so it
+        composes with ``run(..., callback_interval=1)``).
+    u_limit:
+        Maximum tolerated speed; defaults to :data:`SOUND_SPEED`.
+    rho_min:
+        Densities at or below this value count as divergence.
+    telemetry:
+        Optional registry; the watchdog publishes ``watchdog.max_speed`` /
+        ``watchdog.min_density`` gauges and counts its checks.
+    """
+
+    def __init__(self, every: int = 50, u_limit: float | None = None,
+                 rho_min: float = 0.0, telemetry=None):
+        if every < 1:
+            raise ValueError("sampling cadence must be >= 1")
+        self.every = int(every)
+        self.u_limit = float(u_limit) if u_limit is not None else SOUND_SPEED
+        self.rho_min = float(rho_min)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.last_report: dict | None = None
+
+    def __call__(self, solver) -> None:
+        if solver.time % self.every == 0:
+            self.check(solver)
+
+    def check(self, solver) -> dict:
+        """Inspect the solver now; raises :class:`StabilityError` on
+        divergence, otherwise returns the healthy report."""
+        with self.telemetry.phase("watchdog"):
+            rho, u = solver.macroscopic()
+            mask = solver.domain.fluid_mask
+            rho_f = rho[mask]
+            u_f = u[:, mask]
+            with np.errstate(invalid="ignore", over="ignore"):
+                speed2 = np.einsum("an,an->n", u_f, u_f)
+            finite_rho = np.isfinite(rho_f)
+            finite_u = np.isfinite(speed2)
+            n_nonfinite_rho = int((~finite_rho).sum())
+            n_nonfinite_u = int((~finite_u).sum())
+            n_nonpositive = int((rho_f[finite_rho] <= self.rho_min).sum())
+            speed_ok = speed2[finite_u]
+            max_speed = float(np.sqrt(speed_ok.max())) if speed_ok.size else 0.0
+            n_super = int((speed_ok > self.u_limit ** 2).sum())
+            min_rho = (float(rho_f[finite_rho].min())
+                       if finite_rho.any() else float("nan"))
+
+        report = {
+            "step": int(solver.time),
+            "scheme": solver.name,
+            "lattice": solver.lat.name,
+            "shape": list(solver.domain.shape),
+            "n_fluid": int(mask.sum()),
+            "nonfinite_rho": n_nonfinite_rho,
+            "nonfinite_u": n_nonfinite_u,
+            "nonpositive_rho": n_nonpositive,
+            "supersonic": n_super,
+            "max_speed": max_speed,
+            "min_density": min_rho,
+            "u_limit": self.u_limit,
+        }
+        self.last_report = report
+        tel = self.telemetry
+        tel.count("watchdog.checks")
+        tel.gauge("watchdog.max_speed", max_speed)
+        if math.isfinite(min_rho):
+            tel.gauge("watchdog.min_density", min_rho)
+
+        bad = (n_nonfinite_rho or n_nonfinite_u or n_nonpositive or n_super)
+        if bad:
+            tel.count("watchdog.aborts")
+            raise StabilityError(
+                f"{solver.name}/{solver.lat.name} diverged at step "
+                f"{solver.time}: {n_nonfinite_rho + n_nonfinite_u} non-finite, "
+                f"{n_nonpositive} non-positive-density, {n_super} "
+                f"over-speed (> {self.u_limit:.3f}) fluid nodes "
+                f"(max |u| = {max_speed:.3g})",
+                report,
+            )
+        return report

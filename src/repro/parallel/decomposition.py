@@ -22,11 +22,11 @@ and channel problems, all three schemes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..boundary import Boundary, HalfwayBounceBack, Plane, PressureOutlet, VelocityInlet
+from ..boundary import Boundary
 from ..core.collision import (
     collide_moments_projective,
     collide_moments_recursive,

@@ -11,11 +11,10 @@ V100-optimal 8x8 tile is a performance cliff on the MI100's smaller LDS.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..gpu.device import GPUDevice
-from ..gpu.launch import LaunchConfig, occupancy, validate_launch
+from ..gpu.launch import occupancy, validate_launch
 from ..lattice import LatticeDescriptor
 from .model import PerformanceModel, Prediction, mr_launch_config
 from .roofline import bytes_per_flup

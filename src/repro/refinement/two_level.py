@@ -34,7 +34,7 @@ from ..core.collision import collide_moments_projective
 from ..core.equilibrium import equilibrium_moments
 from ..core.moments import f_from_moments, moments_from_f
 from ..core.streaming import stream_push
-from ..lattice import LatticeDescriptor, get_lattice
+from ..lattice import get_lattice
 
 __all__ = ["RefinedTaylorGreen2D", "RefinedSimulation2D", "fine_tau",
            "pi_neq_scale"]

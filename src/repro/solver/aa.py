@@ -74,22 +74,27 @@ class AASolver(Solver):
 
     def step(self) -> None:
         lat = self.lat
+        tel = self.telemetry
         grid_axes = tuple(range(self.f.ndim - 1))
         if self.time % 2 == 0:
             # Even: collide in place, components swapped into opposite slots.
-            f_star = self._collision(lat, self.f)
-            self.f = f_star[lat.opposite]
+            with tel.phase("collide"):
+                f_star = self._collision(lat, self.f)
+                self.f = f_star[lat.opposite]
         else:
             # Odd: gather the swapped-and-shifted state, collide, scatter
             # back to the very slots the reads came from.
-            state = self._gathered_state()
-            f_star = self._collision(lat, state)
-            out = np.empty_like(self.f)
-            for i in range(lat.q):
-                # F*_i(x) -> slot (x + c_i, i).
-                out[i] = np.roll(f_star[i], shift=tuple(lat.c[i]),
-                                 axis=grid_axes)
-            self.f = out
+            with tel.phase("stream"):
+                state = self._gathered_state()
+            with tel.phase("collide"):
+                f_star = self._collision(lat, state)
+            with tel.phase("stream"):
+                out = np.empty_like(self.f)
+                for i in range(lat.q):
+                    # F*_i(x) -> slot (x + c_i, i).
+                    out[i] = np.roll(f_star[i], shift=tuple(lat.c[i]),
+                                     axis=grid_axes)
+                self.f = out
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
         return macroscopic(self.lat, self._gathered_state())

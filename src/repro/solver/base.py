@@ -10,7 +10,7 @@ scheme-agnostic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from ..boundary import Boundary
 from ..core.equilibrium import equilibrium, equilibrium_moments
 from ..geometry import Domain
 from ..lattice import LatticeDescriptor
+from ..obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["Solver", "SolverDiagnostics"]
 
@@ -90,6 +91,9 @@ class Solver(ABC):
         self.boundaries = [b.bind(lat, domain, tau) for b in boundaries]
         self.time = 0
         self.diagnostics = SolverDiagnostics(self)
+        #: telemetry registry; the disabled singleton by default, so the
+        #: instrumented hot loop costs nothing unless one is attached.
+        self.telemetry = NULL_TELEMETRY
         if force is None:
             self.force = None
         else:
@@ -138,25 +142,47 @@ class Solver(ABC):
         (paper Table 2 footprint model)."""
 
     # -- generic driver ---------------------------------------------------
+    def attach_telemetry(self, telemetry) -> "Solver":
+        """Attach a :class:`~repro.obs.Telemetry` registry (pass ``None``
+        to restore the zero-overhead disabled default). Returns ``self``."""
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        return self
+
     def run(self, n_steps: int,
             callback: Callable[["Solver"], None] | None = None,
             callback_interval: int = 1) -> "Solver":
         """Advance ``n_steps`` steps, optionally invoking a callback."""
-        for _ in range(int(n_steps)):
-            self.step()
-            self.time += 1
-            if callback is not None and self.time % callback_interval == 0:
-                callback(self)
+        tel = self.telemetry
+        completed = 0
+        try:
+            for _ in range(int(n_steps)):
+                with tel.phase("step"):
+                    self.step()
+                self.time += 1
+                completed += 1
+                if callback is not None and self.time % callback_interval == 0:
+                    callback(self)
+        finally:
+            if tel.enabled and completed:
+                tel.count("steps", completed)
         return self
 
     def run_to_steady_state(self, tol: float = 1e-8, check_interval: int = 50,
-                            max_steps: int = 200_000) -> int:
+                            max_steps: int = 200_000,
+                            callback: Callable[["Solver"], None] | None = None,
+                            callback_interval: int = 1) -> int:
         """Step until the max nodal velocity change over ``check_interval``
-        steps drops below ``tol``. Returns the number of steps taken."""
+        steps drops below ``tol``. Returns the number of steps taken.
+
+        ``callback``/``callback_interval`` are forwarded to :meth:`run`, so
+        monitors, watchdogs and telemetry consumers observe steady-state
+        runs exactly as they observe fixed-length ones.
+        """
         _, u_prev = self.macroscopic()
         steps = 0
         while steps < max_steps:
-            self.run(check_interval)
+            self.run(check_interval, callback=callback,
+                     callback_interval=callback_interval)
             steps += check_interval
             _, u = self.macroscopic()
             delta = np.abs(u - u_prev)[:, self.domain.fluid_mask].max()

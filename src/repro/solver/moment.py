@@ -41,16 +41,21 @@ class _MomentSolver(Solver):
         raise NotImplementedError
 
     def step(self) -> None:
-        f_star = self._post_collision_f()
-        f_new = stream_push(self.lat, f_star, out=self._f_scratch)
-        self._apply_post_stream(f_new, f_star)
-        self.m = moments_from_f(self.lat, f_new)
-        # Pin solid nodes at rest so their (physically meaningless) moments
-        # stay finite.
-        solid = self.domain.solid_mask
-        if solid.any():
-            self.m[:, solid] = 0.0
-            self.m[0, solid] = 1.0
+        tel = self.telemetry
+        with tel.phase("collide"):
+            f_star = self._post_collision_f()
+        with tel.phase("stream"):
+            f_new = stream_push(self.lat, f_star, out=self._f_scratch)
+        with tel.phase("boundary"):
+            self._apply_post_stream(f_new, f_star)
+        with tel.phase("macroscopic"):
+            self.m = moments_from_f(self.lat, f_new)
+            # Pin solid nodes at rest so their (physically meaningless)
+            # moments stay finite.
+            solid = self.domain.solid_mask
+            if solid.any():
+                self.m[:, solid] = 0.0
+                self.m[0, solid] = 1.0
         # f_star becomes the scratch buffer for the next step.
         self._f_scratch = f_star
 

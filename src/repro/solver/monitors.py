@@ -11,7 +11,7 @@ probe velocities — and keep the history for post-processing. They compose:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -47,8 +47,19 @@ class Monitor:
             self.values.append(self.sample(solver))
 
     def series(self) -> tuple[np.ndarray, np.ndarray]:
-        """(times, values) as arrays."""
-        return np.asarray(self.times), np.asarray(self.values)
+        """(times, values) as arrays.
+
+        Vector-valued samples are stacked explicitly along a leading time
+        axis, so probe/force monitors always yield a dense ``(n, d)`` float
+        array (never a ragged ``object`` array) regardless of how the
+        sampling cadence interacted with an early stop.
+        """
+        times = np.asarray(self.times)
+        if not self.values:
+            return times, np.empty(0)
+        if isinstance(self.values[0], np.ndarray):
+            return times, np.stack([np.asarray(v) for v in self.values])
+        return times, np.asarray(self.values)
 
 
 class Monitors:
@@ -111,20 +122,35 @@ class ForceMonitor(Monitor):
 
 
 class ConvergenceMonitor(Monitor):
-    """Max nodal velocity change per sampling interval (steady-state gauge)."""
+    """Max nodal velocity change per sampling interval (steady-state gauge).
+
+    The very first visit only records the velocity baseline — it appends
+    no sample, so the series never starts with an ``inf`` sentinel that
+    would poison plots and ``series()`` statistics.
+    """
 
     def __init__(self, every: int = 50):
         super().__init__(every)
         self._last_u: np.ndarray | None = None
 
+    def __call__(self, solver) -> None:
+        if solver.time % self.every != 0:
+            return
+        if self._last_u is None:
+            _, u = solver.macroscopic()
+            self._last_u = u.copy()
+            return
+        self.times.append(solver.time)
+        self.values.append(self.sample(solver))
+
     def sample(self, solver) -> float:
         _, u = solver.macroscopic()
         if self._last_u is None:
-            delta = np.inf
-        else:
-            delta = float(
-                np.abs(u - self._last_u)[:, solver.domain.fluid_mask].max()
-            )
+            self._last_u = u.copy()
+            return np.inf
+        delta = float(
+            np.abs(u - self._last_u)[:, solver.domain.fluid_mask].max()
+        )
         self._last_u = u.copy()
         return delta
 

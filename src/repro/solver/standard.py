@@ -49,21 +49,27 @@ class STSolver(Solver):
         self._f_streamed = np.empty_like(feq)
 
     def step(self) -> None:
+        tel = self.telemetry
         # Streaming (pull): gather post-collision values from neighbours.
-        stream_pull(self.lat, self.f, out=self._f_streamed)
-        self._apply_post_stream(self._f_streamed, self.f)
+        with tel.phase("stream"):
+            stream_pull(self.lat, self.f, out=self._f_streamed)
+        with tel.phase("boundary"):
+            self._apply_post_stream(self._f_streamed, self.f)
         # Collision into the second lattice (reuse the old buffer).
-        if self.force is None:
-            f_star = self.collision(self.lat, self._f_streamed)
-        else:
-            f_star = self._forced_collision(self._f_streamed)
-        # Keep solid nodes pinned at rest equilibrium so garbage can never
-        # propagate out of unused regions. Done before the post-collide hook
-        # so full-way bounce-back may still overwrite solid nodes.
-        solid = self.domain.solid_mask
-        if solid.any():
-            f_star[:, solid] = self.lat.w[:, None]
-        self._apply_post_collide(f_star, self._f_streamed)
+        with tel.phase("collide"):
+            if self.force is None:
+                f_star = self.collision(self.lat, self._f_streamed)
+            else:
+                f_star = self._forced_collision(self._f_streamed)
+            # Keep solid nodes pinned at rest equilibrium so garbage can
+            # never propagate out of unused regions. Done before the
+            # post-collide hook so full-way bounce-back may still overwrite
+            # solid nodes.
+            solid = self.domain.solid_mask
+            if solid.any():
+                f_star[:, solid] = self.lat.w[:, None]
+        with tel.phase("boundary"):
+            self._apply_post_collide(f_star, self._f_streamed)
         self.f, self._f_streamed = f_star, self.f
 
     def _forced_collision(self, f: np.ndarray) -> np.ndarray:

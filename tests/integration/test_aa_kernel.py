@@ -7,7 +7,6 @@ from repro.geometry import periodic_box
 from repro.gpu import AAKernel, KernelProblem, MemoryTracker, STKernel, V100
 from repro.lattice import get_lattice
 from repro.solver import AASolver
-from repro.validation import taylor_green_fields
 
 
 def setup(lattice_name, shape, tau=0.8, seed=9):

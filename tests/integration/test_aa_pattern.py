@@ -7,11 +7,7 @@ from repro.geometry import channel_2d, periodic_box
 from repro.lattice import get_lattice
 from repro.perf import state_values_per_node
 from repro.solver import AASolver, periodic_problem
-from repro.validation import (
-    kinetic_energy,
-    relative_l2_error,
-    taylor_green_fields,
-)
+from repro.validation import relative_l2_error, taylor_green_fields
 
 
 def make_pair(lattice_name, shape, tau=0.8, seed=3):

@@ -14,7 +14,6 @@ from repro.gpu import KernelProblem, MRKernel, STKernel, V100
 from repro.lattice import get_lattice
 from repro.solver import channel_problem, periodic_problem
 from repro.solver.presets import channel_inlet_profile
-from repro.validation import taylor_green_fields
 
 STEPS = 4
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.parallel import (
-    DistributedMR,
     DistributedST,
     SlabDecomposition,
     distributed_channel_problem,

@@ -1,7 +1,6 @@
 """Property-based tests for the virtual-GPU substrate."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gpu import (
@@ -9,7 +8,6 @@ from repro.gpu import (
     LaunchConfig,
     MemoryTracker,
     MRKernel,
-    STKernel,
     V100,
     occupancy,
 )

@@ -1,7 +1,6 @@
 """Property-based tests: distributed decomposition and body forcing."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

@@ -2,10 +2,8 @@
 
 import json
 
-import numpy as np
 import pytest
 
-import repro.bench.measure as measure_mod
 from repro.bench.measure import (
     TrafficMeasurement,
     measure_channel_traffic,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.boundary import FullwayBounceBack, HalfwayBounceBack
 from repro.core import stream_push
-from repro.geometry import Domain, channel_2d, lid_driven_cavity
+from repro.geometry import channel_2d, lid_driven_cavity
 from repro.lattice import get_lattice
 
 

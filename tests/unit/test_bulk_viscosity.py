@@ -13,7 +13,7 @@ from repro.core import (
 )
 from repro.core.collision import _split_trace
 from repro.lattice import get_lattice
-from repro.solver import MRPSolver, periodic_problem
+from repro.solver import MRPSolver
 from repro.geometry import periodic_box
 
 

@@ -11,7 +11,7 @@ from repro.core import (
     moments_from_f,
     stream_push,
 )
-from repro.geometry import channel_3d, periodic_box
+from repro.geometry import channel_3d
 from repro.lattice import get_lattice
 from repro.solver import make_solver, periodic_problem
 

@@ -9,7 +9,6 @@ from repro.core import (
     collide_moments_recursive,
     equilibrium,
     guo_source,
-    half_force_velocity,
     moments_from_f,
     normalize_force,
 )

@@ -1,6 +1,5 @@
 """Unit tests for domains and standard geometries."""
 
-import numpy as np
 import pytest
 
 from repro.geometry import (
@@ -8,7 +7,6 @@ from repro.geometry import (
     INLET,
     OUTLET,
     SOLID,
-    Domain,
     channel_2d,
     channel_3d,
     cylinder_in_channel,

@@ -1,7 +1,6 @@
 """Unit tests for moment-space projections (Eqs. 1-3, 11)."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     equilibrium,

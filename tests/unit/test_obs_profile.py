@@ -1,0 +1,140 @@
+"""Tests for the profiling harness, GPU telemetry hooks and CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gpu import MRKernel, STKernel, KernelProblem, MemoryTracker, V100
+from repro.obs import Telemetry, format_profile, profile_scheme
+
+
+class TestKernelTelemetry:
+    def _problem(self):
+        from repro.lattice import get_lattice
+
+        return KernelProblem(get_lattice("D2Q9"), (12, 10), 0.8)
+
+    def test_st_kernel_publishes_launch(self):
+        tel = Telemetry()
+        k = STKernel(self._problem(), V100, telemetry=tel)
+        stats = k.step()
+        assert tel.counters["gpu.launches"] == 1
+        assert tel.counters["gpu.nodes"] == stats.n_nodes
+        assert tel.counters["gpu.bytes.sector"] == stats.traffic.sector_bytes_total
+        assert tel.phases["gpu.step"].calls == 1
+
+    def test_mr_kernel_publishes_launch(self):
+        tel = Telemetry()
+        k = MRKernel(self._problem(), V100, scheme="MR-P", telemetry=tel)
+        k.step()
+        k.step()
+        assert tel.counters["gpu.launches"] == 2
+        assert tel.counters["gpu.launches.MR-P/D2Q9"] == 2
+        assert tel.effective_gbs() > 0
+
+    def test_kernel_without_telemetry_unchanged(self):
+        tr = MemoryTracker()
+        k = STKernel(self._problem(), V100, tracker=tr)
+        stats = k.step()
+        assert stats.traffic.total_bytes > 0
+
+
+class TestProfileScheme:
+    def test_profile_mrp(self):
+        result = profile_scheme("MR-P", "D2Q9", shape=(24, 14), steps=5)
+        assert result["scheme"] == "MR-P"
+        paths = {p["phase"] for p in result["phases"]}
+        assert {"step", "step/collide", "step/stream"} <= paths
+        assert result["host_mlups"] > 0
+        t = result["traffic"]
+        assert t is not None
+        assert t["dram_bytes_per_node"] > 0
+        assert t["effective_host_gbs"] == pytest.approx(
+            t["dram_bytes_per_node"] * result["host_mlups"] * 1e6 / 1e9)
+
+    def test_profile_aa_without_traffic(self):
+        result = profile_scheme("AA", "D2Q9", shape=(16, 16), steps=4)
+        assert result["traffic"] is None
+        assert result["host_mlups"] > 0
+
+    def test_format_profile_mentions_units(self):
+        result = profile_scheme("ST", "D2Q9", shape=(24, 14), steps=5)
+        text = format_profile(result)
+        assert "MLUPS" in text and "GB/s" in text
+        assert "B/node" in text
+        assert "phase" in text
+
+    def test_result_json_serializable(self):
+        json.dumps(profile_scheme("MR-R", "D2Q9", shape=(20, 12), steps=3))
+
+
+class TestCLI:
+    def test_profile_command(self, capsys):
+        rc = main(["profile", "--scheme", "MR-P", "--lattice", "D2Q9",
+                   "--shape", "24,14", "--steps", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MLUPS" in out and "GB/s" in out
+        assert "step/collide" in out
+
+    def test_profile_json_dump(self, capsys, tmp_path):
+        path = tmp_path / "prof.json"
+        rc = main(["profile", "--scheme", "ST", "--shape", "20,12",
+                   "--steps", "4", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data[0]["scheme"] == "ST"
+
+    def test_run_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "out.json"
+        metrics = tmp_path / "m.jsonl"
+        rc = main(["run", "--scheme", "MR-P", "--shape", "20,12",
+                   "--steps", "10", "--report-interval", "5",
+                   "--trace", str(trace), "--metrics", str(metrics)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"], "trace must contain phase spans"
+        assert all(ev["ph"] == "X" for ev in doc["traceEvents"])
+        records = [json.loads(ln) for ln in metrics.read_text().splitlines()]
+        assert any("summary" in r for r in records)
+        assert any(r.get("step") == 10 for r in records)
+
+    def test_run_manifest_flag(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["run", "--scheme", "ST", "--shape", "16,10",
+                   "--steps", "5", "--report-interval", "5",
+                   "--manifest", str(tmp_path / "m.json")])
+        assert rc == 0
+        m = json.loads((tmp_path / "m.json").read_text())
+        assert m["scheme"] == "ST" and m["shape"] == [16, 10]
+
+    def test_run_watchdog_flag_healthy(self, capsys):
+        rc = main(["run", "--scheme", "MR-P", "--shape", "16,10",
+                   "--steps", "10", "--report-interval", "5",
+                   "--watchdog", "5"])
+        assert rc == 0
+
+    def test_telemetry_off_by_default_golden(self):
+        """Plain `run` must not attach telemetry (numerics & speed path)."""
+        from repro.solver import channel_problem
+        from repro.obs import NULL_TELEMETRY
+
+        s = channel_problem("MR-P", "D2Q9", (16, 10))
+        assert s.telemetry is NULL_TELEMETRY
+
+
+class TestBenchPublish:
+    def test_publish_measurement_gauges(self):
+        from repro.bench.measure import TrafficMeasurement, publish_measurement
+
+        meas = TrafficMeasurement(
+            scheme="MR-P", lattice="D2Q9", device="V100", shape=(4, 4),
+            dram_bytes_per_node=96.0, dram_read_per_node=48.0,
+            dram_write_per_node=48.0, logical_bytes_per_node=101.0,
+            n_nodes=16)
+        tel = Telemetry()
+        publish_measurement(tel, meas)
+        assert tel.gauges["traffic.MR-P.D2Q9.dram_bytes_per_node"] == 96.0
+        publish_measurement(__import__("repro.obs", fromlist=["NULL_TELEMETRY"]
+                                       ).NULL_TELEMETRY, meas)  # no-op

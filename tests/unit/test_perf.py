@@ -1,8 +1,6 @@
 """Unit tests for the performance models (roofline, footprint, flops, MFLUPS)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.gpu import MI100, V100

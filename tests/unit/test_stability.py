@@ -1,6 +1,5 @@
 """Unit tests for the stability-margin machinery."""
 
-import pytest
 
 from repro.analysis import max_stable_amplitude, stability_map, survives
 

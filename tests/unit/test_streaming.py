@@ -1,7 +1,6 @@
 """Unit tests for streaming (Eq. 7)."""
 
 import numpy as np
-import pytest
 
 from repro.core import pull_gather, stream_pull, stream_push, streaming_offsets
 
