@@ -15,6 +15,11 @@ Subcommands
 collide/stream/boundary phase spans, ``--manifest`` writes a
 reproducibility manifest next to the output, and ``--watchdog N`` aborts
 cleanly on NaN/Inf/over-speed divergence sampled every N steps.
+
+``run`` also takes distributed flags (see ``docs/PARALLEL.md``):
+``--ranks N`` decomposes the domain into N streamwise slabs and
+``--backend {emulated,process}`` picks between the sequential in-process
+emulation and the real multiprocess shared-memory runtime.
 """
 
 from __future__ import annotations
@@ -44,6 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--u-max", type=float, default=0.05)
     run.add_argument("--steps", type=int, default=1000)
     run.add_argument("--bc", default="regularized-fd", choices=["regularized-fd", "nebb"])
+    run.add_argument("--ranks", type=int, default=1, metavar="N",
+                     help="decompose into N streamwise slabs (distributed "
+                     "run; see docs/PARALLEL.md)")
+    run.add_argument("--backend", default=None,
+                     choices=["emulated", "process"],
+                     help="distributed backend: 'emulated' steps every rank "
+                     "sequentially in-process, 'process' runs each rank as "
+                     "a real OS process over shared memory (default: "
+                     "'emulated' when --ranks > 1)")
     run.add_argument("--output", default=None, help="write final fields to .npz/.vtk")
     run.add_argument("--report-interval", type=int, default=200)
     run.add_argument("--metrics", default=None, metavar="PATH",
@@ -102,9 +116,114 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _distributed_spec(args, shape):
+    """Build the :class:`~repro.parallel.RunSpec` for a distributed run."""
+    from .parallel import RunSpec
+
+    if args.problem == "channel":
+        return RunSpec("channel", args.scheme, args.lattice, shape,
+                       args.ranks, tau=args.tau,
+                       options={"u_max": args.u_max, "bc_method": "nebb"})
+    if len(shape) != 2:
+        raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
+    from .validation import taylor_green_fields
+
+    nu = (args.tau - 0.5) / 3.0
+    rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
+    return RunSpec("periodic", args.scheme, args.lattice, shape, args.ranks,
+                   tau=args.tau, options={"rho0": rho0, "u0": u0})
+
+
+def _cmd_run_distributed(args: argparse.Namespace) -> int:
+    """Handle ``mrlbm run --ranks N [--backend {emulated,process}]``."""
+    from .parallel import ParallelRuntimeError, run_process
+
+    backend = args.backend or "emulated"
+    shape = tuple(int(s) for s in args.shape.split(","))
+    spec = _distributed_spec(args, shape)
+    for flag in ("trace", "watchdog"):
+        if getattr(args, flag, None):
+            print(f"note: --{flag} applies to single-domain runs only; "
+                  "ignored for distributed backends", file=sys.stderr)
+
+    solver = spec.build()
+    n_fluid = solver.global_domain.n_fluid
+    print(f"{args.scheme} / {args.lattice} on {shape} "
+          f"({n_fluid:,} fluid nodes), tau = {args.tau}, "
+          f"{args.ranks} rank(s), backend = {backend}")
+
+    t0 = time.perf_counter()
+    report = None
+    if backend == "process":
+        try:
+            result = run_process(spec, args.steps)
+        except ParallelRuntimeError as err:
+            print(f"ABORTED: {err}", file=sys.stderr)
+            return 2
+        rho, u = result.rho, result.u
+        comm, report = result.comm, result.report
+        wall = result.wall_s
+        for entry in report["mlups_per_rank"]:
+            print(f"  rank {entry['rank']}: {entry['n_fluid']:,} fluid "
+                  f"nodes, {entry['mlups']:.2f} MLUPS")
+        print(f"  cohort: {report['mlups']:.2f} MLUPS "
+              f"(slowest-rank pace over {args.steps} steps)")
+    else:
+        solver.run(args.steps)
+        wall = time.perf_counter() - t0
+        rho, u = solver.gather_macroscopic()
+        comm = solver.comm
+        print(f"  {n_fluid * args.steps / wall / 1e6:.2f} MLUPS "
+              f"(sequential emulation, {args.steps} steps)")
+
+    print(f"  halo payload per cut face: "
+          f"{solver.communication_values_per_face()} doubles "
+          f"(both directions)")
+    print(f"  exchange volume: {comm.bytes_per_step():,.0f} B/step, "
+          f"{comm.messages} messages total")
+
+    if args.metrics:
+        from .obs import JsonLinesExporter
+
+        exporter = JsonLinesExporter(args.metrics)
+        record = {"backend": backend, "ranks": args.ranks,
+                  "steps": args.steps, "wall_s": wall,
+                  "comm": comm.to_dict()}
+        if report is not None:
+            record["report"] = report
+        exporter.write(record)
+        exporter.close()
+        print(f"wrote {args.metrics}")
+
+    if args.output:
+        from .io import save_fields, write_vtk
+
+        if args.output.endswith(".vtk"):
+            write_vtk(args.output, rho, u)
+        else:
+            save_fields(args.output, rho, u, time=args.steps)
+        print(f"wrote {args.output}")
+
+    if args.manifest is not None:
+        from .obs import manifest_path_for, write_manifest
+
+        mpath = (args.manifest or
+                 (manifest_path_for(args.output) if args.output
+                  else "run.manifest.json"))
+        solver.time = args.steps
+        write_manifest(mpath, solver, problem=args.problem,
+                       u_max=args.u_max, backend=backend, ranks=args.ranks,
+                       command="mrlbm run")
+        print(f"wrote {mpath}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .solver import channel_problem, periodic_problem
     from .validation import taylor_green_fields
+
+    if args.ranks > 1 or args.backend is not None:
+        return _cmd_run_distributed(args)
 
     shape = tuple(int(s) for s in args.shape.split(","))
     if args.problem == "channel":

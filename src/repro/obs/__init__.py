@@ -23,6 +23,7 @@ from .exporters import (
     write_csv_summary,
 )
 from .manifest import RunManifest, load_manifest, manifest_path_for, write_manifest
+from .merge import merge_rank_reports
 from .profile import PROFILE_SCHEMES, format_profile, profile_scheme
 from .telemetry import NULL_TELEMETRY, NullTelemetry, PhaseStats, Span, Telemetry
 from .watchdog import SOUND_SPEED, StabilityError, StabilityWatchdog
@@ -47,4 +48,5 @@ __all__ = [
     "profile_scheme",
     "format_profile",
     "PROFILE_SCHEMES",
+    "merge_rank_reports",
 ]

@@ -42,10 +42,12 @@ class JsonLinesExporter:
         self._fh = open(self.path, "w", encoding="utf-8")
 
     def write(self, record: dict) -> None:
+        """Serialize one record as a JSON line and flush."""
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
 
     def close(self) -> None:
+        """Close the underlying file (idempotent)."""
         if not self._fh.closed:
             self._fh.close()
 

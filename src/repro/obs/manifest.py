@@ -50,14 +50,18 @@ class RunManifest:
     @classmethod
     def from_solver(cls, solver, seed: int | None = None,
                     **extra) -> "RunManifest":
-        """Build a manifest from a live solver (duck-typed: needs ``name``,
-        ``lat``, ``domain``, ``tau``, ``time``)."""
+        """Build a manifest from a live solver (duck-typed: needs ``name``
+        or ``scheme``, ``lat``, ``domain`` or ``global_domain``, ``tau``,
+        ``time`` — so distributed solvers work too)."""
         from .. import __version__
 
+        domain = getattr(solver, "domain", None)
+        if domain is None:
+            domain = solver.global_domain
         return cls(
-            scheme=solver.name,
+            scheme=getattr(solver, "name", None) or solver.scheme,
             lattice=solver.lat.name,
-            shape=tuple(solver.domain.shape),
+            shape=tuple(domain.shape),
             tau=float(solver.tau),
             seed=seed,
             steps=int(solver.time),
@@ -68,11 +72,13 @@ class RunManifest:
         )
 
     def to_dict(self) -> dict:
+        """JSON-serializable form (tuples become lists)."""
         d = asdict(self)
         d["shape"] = list(self.shape)
         return d
 
     def write(self, path: str | Path) -> Path:
+        """Write the manifest as pretty-printed JSON; returns the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,108 @@
+"""Merging per-rank telemetry into one distributed-run report.
+
+The multiprocess runtime (:mod:`repro.parallel.runtime`) gives every
+worker its own :class:`~repro.obs.telemetry.Telemetry` registry; after a
+run the parent holds one summary dict per rank. :func:`merge_rank_reports`
+folds them into a single report: phase statistics aggregate across ranks
+(calls and totals add, min/max widen), counters add, communication
+accounting adds bytes and messages while keeping the lock-step ``steps``,
+and MLUPS is derived both per rank and for the whole cohort (total
+interior fluid nodes x steps over the slowest rank's wall time — the
+barrier makes the slowest rank the cohort's pace).
+
+The merged report is what ``mrlbm run --backend process`` prints and what
+``--metrics`` exports; ``docs/PARALLEL.md`` documents how to read it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["merge_rank_reports"]
+
+
+def _merge_phases(summaries: list[dict]) -> dict:
+    """Aggregate per-path phase statistics across rank summaries."""
+    merged: dict[str, dict] = {}
+    for summary in summaries:
+        for path, stats in summary.get("phases", {}).items():
+            agg = merged.setdefault(path, {
+                "calls": 0, "total_s": 0.0, "min_s": float("inf"),
+                "max_s": 0.0})
+            agg["calls"] += stats.get("calls", 0)
+            agg["total_s"] += stats.get("total_s", 0.0)
+            agg["min_s"] = min(agg["min_s"], stats.get("min_s", float("inf")))
+            agg["max_s"] = max(agg["max_s"], stats.get("max_s", 0.0))
+    for agg in merged.values():
+        calls = agg["calls"]
+        agg["mean_s"] = agg["total_s"] / calls if calls else 0.0
+        if agg["min_s"] == float("inf"):
+            agg["min_s"] = 0.0
+    return merged
+
+
+def merge_rank_reports(per_rank: list[dict],
+                       wall_s: float | None = None) -> dict:
+    """Merge the per-rank worker reports of one distributed run.
+
+    Parameters
+    ----------
+    per_rank:
+        One dict per rank as posted by the runtime worker: keys
+        ``rank``, ``steps``, ``n_fluid``, ``wall_s``, ``comm`` (a
+        :meth:`~repro.parallel.decomposition.CommunicationReport.to_dict`
+        snapshot) and ``summary`` (a
+        :meth:`~repro.obs.telemetry.Telemetry.summary` snapshot).
+    wall_s:
+        Parent-measured wall time of the whole run (startup included);
+        kept alongside the in-loop timings when given.
+
+    Returns
+    -------
+    dict
+        JSON-serializable report with aggregated ``phases``,
+        ``counters``, ``comm``, per-rank and cohort ``mlups``, and the
+        original ``per_rank`` records for drill-down.
+    """
+    reports = sorted(per_rank, key=lambda rep: rep.get("rank", 0))
+    steps = max((rep.get("steps", 0) for rep in reports), default=0)
+    n_fluid_total = sum(rep.get("n_fluid", 0) for rep in reports)
+    slowest = max((rep.get("wall_s", 0.0) for rep in reports), default=0.0)
+
+    counters: dict[str, float] = {}
+    for rep in reports:
+        for name, value in rep.get("summary", {}).get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+
+    comm = {"bytes_sent": 0, "messages": 0, "steps": 0}
+    for rep in reports:
+        c = rep.get("comm", {})
+        comm["bytes_sent"] += c.get("bytes_sent", 0)
+        comm["messages"] += c.get("messages", 0)
+        comm["steps"] = max(comm["steps"], c.get("steps", 0))
+    comm["bytes_per_step"] = comm["bytes_sent"] / max(comm["steps"], 1)
+
+    mlups_per_rank = [
+        {
+            "rank": rep.get("rank"),
+            "n_fluid": rep.get("n_fluid", 0),
+            "wall_s": rep.get("wall_s", 0.0),
+            "mlups": (rep.get("n_fluid", 0) * rep.get("steps", 0)
+                      / rep["wall_s"] / 1e6 if rep.get("wall_s") else 0.0),
+        }
+        for rep in reports
+    ]
+    aggregate_mlups = (n_fluid_total * steps / slowest / 1e6
+                       if slowest > 0 else 0.0)
+
+    return {
+        "n_ranks": len(reports),
+        "steps": steps,
+        "n_fluid": n_fluid_total,
+        "wall_s": wall_s if wall_s is not None else slowest,
+        "wall_s_slowest_rank": slowest,
+        "mlups": aggregate_mlups,
+        "mlups_per_rank": mlups_per_rank,
+        "comm": comm,
+        "phases": _merge_phases([rep.get("summary", {}) for rep in reports]),
+        "counters": counters,
+        "per_rank": reports,
+    }

@@ -53,6 +53,7 @@ class PhaseStats:
     max: float = 0.0
 
     def add(self, dt: float) -> None:
+        """Fold one span duration into the statistics."""
         self.calls += 1
         self.total += dt
         if dt < self.min:
@@ -62,9 +63,11 @@ class PhaseStats:
 
     @property
     def mean(self) -> float:
+        """Mean span duration in seconds (0 before any call)."""
         return self.total / self.calls if self.calls else 0.0
 
     def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the aggregate."""
         return {
             "calls": self.calls,
             "total_s": self.total,
@@ -101,19 +104,24 @@ class NullTelemetry:
     enabled = False
 
     def phase(self, name: str) -> _NullPhase:
+        """Hand back the shared no-op context manager."""
         return _NULL_PHASE
 
     def count(self, name: str, value: float = 1) -> None:
+        """Discard a counter increment."""
         return None
 
     def gauge(self, name: str, value: float) -> None:
+        """Discard a gauge write."""
         return None
 
     def add_span(self, name: str, start: float, duration: float) -> None:
+        """Discard an externally-timed span."""
         return None
 
     def record_traffic(self, report, seconds: float | None = None,
                        prefix: str = "gpu") -> None:
+        """Discard a traffic report."""
         return None
 
 

@@ -1,4 +1,15 @@
-"""Distributed-memory domain decomposition with halo-exchange accounting."""
+"""Distributed-memory domain decomposition and execution backends.
+
+Two interchangeable backends share one slab decomposition and one halo
+protocol (see ``docs/PARALLEL.md``):
+
+* **emulated** — every rank stepped sequentially in-process
+  (:class:`DistributedST` / :class:`DistributedMR`), deterministic and
+  dependency-free: the accounting and correctness oracle;
+* **process** — every rank a real OS process over
+  ``multiprocessing.shared_memory`` with barrier-synchronized halo
+  exchanges (:func:`run_process` / :class:`ProcessRuntime`).
+"""
 
 from .decomposition import (
     CommunicationReport,
@@ -8,6 +19,14 @@ from .decomposition import (
     SlabDecomposition,
 )
 from .presets import distributed_channel_problem, distributed_periodic_problem
+from .runtime import (
+    ParallelRuntimeError,
+    ProcessRunResult,
+    ProcessRuntime,
+    RunSpec,
+    WorkerFailure,
+    run_process,
+)
 
 __all__ = [
     "CommunicationReport",
@@ -17,4 +36,10 @@ __all__ = [
     "DistributedMR",
     "distributed_channel_problem",
     "distributed_periodic_problem",
+    "RunSpec",
+    "ProcessRuntime",
+    "ProcessRunResult",
+    "run_process",
+    "ParallelRuntimeError",
+    "WorkerFailure",
 ]

@@ -1,9 +1,11 @@
 """Distributed-memory domain decomposition (multi-device substrate).
 
 The paper's lineage runs multi-GPU LBM at scale (Obrecht 2013, Robertsén
-2017, Vardhan 2019); this package provides the corresponding substrate as
-a deterministic in-process emulation: the global domain is split into
-slabs along the streamwise axis, each "rank" owns a slab plus one-node
+2017, Vardhan 2019); this package provides the corresponding substrate in
+two interchangeable backends: a deterministic in-process emulation (this
+module) and a real multiprocess SPMD runtime
+(:mod:`repro.parallel.runtime`). In both, the global domain is split into
+slabs along the streamwise axis, each rank owns a slab plus one-node
 ghost layers, and every step performs an explicit halo exchange whose
 volume is accounted exactly.
 
@@ -15,9 +17,15 @@ reconstructs the crossing populations locally — trading a little
 recomputation for less network traffic, exactly the compression the paper
 exploits against DRAM.
 
+Both backends drive the same per-rank primitives defined here —
+:meth:`DistributedSolver._pack_halo`, :meth:`DistributedSolver._unpack_halo`
+and :meth:`DistributedSolver._rank_step` — so the emulated exchange and
+the shared-memory exchange move bit-identical payloads
+(see ``docs/PARALLEL.md``).
+
 Correctness: a distributed run over any number of ranks reproduces the
 single-domain reference solver to machine precision (tested for periodic
-and channel problems, all three schemes).
+and channel problems, all three schemes, both backends).
 """
 
 from __future__ import annotations
@@ -52,18 +60,42 @@ DOUBLE = 8
 
 @dataclass
 class CommunicationReport:
-    """Halo-exchange accounting across a whole run."""
+    """Halo-exchange accounting across a whole run.
+
+    ``steps`` is advanced by the solver on every exchange round (one
+    round per :meth:`DistributedSolver.step`), so ``bytes_per_step()``
+    is well defined whether the run went through :meth:`~DistributedSolver.run`
+    or through repeated direct ``step()`` calls.
+    """
 
     bytes_sent: int = 0
     messages: int = 0
     steps: int = 0
 
     def record(self, n_values: int) -> None:
+        """Account one directed message of ``n_values`` doubles."""
         self.bytes_sent += n_values * DOUBLE
         self.messages += 1
 
     def bytes_per_step(self) -> float:
+        """Mean bytes moved per exchange round."""
         return self.bytes_sent / max(self.steps, 1)
+
+    def merge(self, other: "CommunicationReport") -> None:
+        """Fold another rank's accounting into this one (bytes and
+        messages add; ``steps`` is the max, all ranks step in lockstep)."""
+        self.bytes_sent += other.bytes_sent
+        self.messages += other.messages
+        self.steps = max(self.steps, other.steps)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot including the per-step rate."""
+        return {
+            "bytes_sent": self.bytes_sent,
+            "messages": self.messages,
+            "steps": self.steps,
+            "bytes_per_step": self.bytes_per_step(),
+        }
 
 
 @dataclass(frozen=True)
@@ -75,6 +107,7 @@ class SlabDecomposition:
     periodic: bool
 
     def __post_init__(self) -> None:
+        """Validate that every slab keeps at least 3 interior planes."""
         nx = self.global_shape[0]
         if self.n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -94,19 +127,24 @@ class SlabDecomposition:
         return start, start + width
 
     def has_left(self, rank: int) -> bool:
+        """Whether the rank exchanges across its low-x face."""
         return self.periodic or rank > 0
 
     def has_right(self, rank: int) -> bool:
+        """Whether the rank exchanges across its high-x face."""
         return self.periodic or rank < self.n_ranks - 1
 
     def left_of(self, rank: int) -> int:
+        """Rank id of the low-x neighbour (wraps when periodic)."""
         return (rank - 1) % self.n_ranks
 
     def right_of(self, rank: int) -> int:
+        """Rank id of the high-x neighbour (wraps when periodic)."""
         return (rank + 1) % self.n_ranks
 
     @property
     def face_nodes(self) -> int:
+        """Number of lattice nodes in one cut face (a constant-x plane)."""
         out = 1
         for s in self.global_shape[1:]:
             out *= s
@@ -128,15 +166,29 @@ class _RankState:
 
     @property
     def interior(self) -> slice:
+        """Axis-0 slice selecting the owned (non-ghost) planes."""
         lo = 1 if self.ghost_left else 0
         hi = -1 if self.ghost_right else None
         return slice(lo, hi)
 
+    def n_interior_fluid(self) -> int:
+        """Number of fluid nodes this rank owns (ghost planes excluded)."""
+        return int((~self.domain.solid_mask[self.interior]).sum())
+
 
 class DistributedSolver:
-    """Base class: slab setup, halo-exchange bookkeeping, gathering."""
+    """Base class: slab setup, halo-exchange bookkeeping, gathering.
+
+    Subclasses provide four per-rank primitives — :meth:`_init_rank_state`,
+    :meth:`_pack_halo`, :meth:`_unpack_halo` and :meth:`_rank_step` — from
+    which both :meth:`step` (the emulated backend) and the multiprocess
+    runtime in :mod:`repro.parallel.runtime` are assembled.
+    """
 
     scheme: str = "?"
+    #: Name of the per-rank state attribute holding the exchanged field
+    #: (``"f"`` for populations, ``"m"`` for moments).
+    field_attr: str = "?"
 
     def __init__(self, lat: LatticeDescriptor, global_domain: Domain,
                  tau: float, n_ranks: int, periodic_axis0: bool,
@@ -197,17 +249,76 @@ class DistributedSolver:
     # -- subclass hooks --------------------------------------------------
     def _init_rank_state(self, state: _RankState, rho: np.ndarray,
                          u: np.ndarray) -> None:
+        """Allocate and initialize one rank's field arrays."""
         raise NotImplementedError
 
-    def step(self) -> None:
+    def _rank_step(self, state: _RankState) -> None:
+        """Advance one rank's slab by one collide+stream step.
+
+        Ghost planes must already hold the neighbours' halo data (see
+        :meth:`_pack_halo` / :meth:`_unpack_halo`).
+        """
+        raise NotImplementedError
+
+    def _pack_halo(self, state: _RankState, direction: str) -> np.ndarray:
+        """Copy the edge-plane payload travelling ``direction`` out of a rank.
+
+        ``direction`` is ``"right"`` (data for the high-x neighbour's low-x
+        ghost) or ``"left"``. Returns a contiguous array of shape
+        ``(payload_components, *face_shape)``.
+        """
+        raise NotImplementedError
+
+    def _unpack_halo(self, state: _RankState, side: str,
+                     buf: np.ndarray) -> None:
+        """Write a received payload into the ``side`` (``"left"``/``"right"``)
+        ghost plane of a rank."""
+        raise NotImplementedError
+
+    def halo_values_per_direction(self) -> int:
+        """Doubles in one directed face payload (one face, one direction)."""
         raise NotImplementedError
 
     # -- common API -------------------------------------------------------
+    def _exchange(self) -> None:
+        """One emulated halo-exchange round: pack all faces, then unpack.
+
+        The two-phase structure mirrors the barrier protocol of the
+        multiprocess backend, so both move bit-identical payloads. Each
+        directed pack is accounted as one message and the round advances
+        ``comm.steps``.
+        """
+        packed: dict[tuple[int, str], np.ndarray] = {}
+        for r, state in enumerate(self.ranks):
+            if self.decomp.has_right(r):
+                buf = self._pack_halo(state, "right")
+                packed[r, "right"] = buf
+                self.comm.record(buf.size)
+            if self.decomp.has_left(r):
+                buf = self._pack_halo(state, "left")
+                packed[r, "left"] = buf
+                self.comm.record(buf.size)
+        for r, state in enumerate(self.ranks):
+            if self.decomp.has_left(r):
+                self._unpack_halo(state, "left",
+                                  packed[self.decomp.left_of(r), "right"])
+            if self.decomp.has_right(r):
+                self._unpack_halo(state, "right",
+                                  packed[self.decomp.right_of(r), "left"])
+        self.comm.steps += 1
+
+    def step(self) -> None:
+        """Advance the whole decomposition by one step (exchange, then
+        per-rank collide+stream)."""
+        self._exchange()
+        for state in self.ranks:
+            self._rank_step(state)
+
     def run(self, n_steps: int) -> "DistributedSolver":
+        """Advance ``n_steps`` steps and return self."""
         for _ in range(int(n_steps)):
             self.step()
             self.time += 1
-            self.comm.steps += 1
         return self
 
     def gather_macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
@@ -221,11 +332,12 @@ class DistributedSolver:
         return rho, u
 
     def _rank_macroscopic(self, state: _RankState):
+        """Density and velocity over one rank's slab (ghosts included)."""
         raise NotImplementedError
 
     def communication_values_per_face(self) -> int:
         """Doubles exchanged per cut face per step (both directions)."""
-        raise NotImplementedError
+        return 2 * self.halo_values_per_direction()
 
 
 class DistributedST(DistributedSolver):
@@ -237,12 +349,15 @@ class DistributedST(DistributedSolver):
     """
 
     scheme = "ST"
+    field_attr = "f"
 
     def _init_rank_state(self, state, rho, u):
+        """Initialize the rank's populations at equilibrium."""
         state.f = equilibrium(self.lat, rho, u)
         state.scratch = np.empty_like(state.f)
 
     def _rank_macroscopic(self, state):
+        """Density and (half-force-corrected) velocity from populations."""
         if state.force is None:
             return macroscopic(self.lat, state.f)
         from ..core.forcing import half_force_velocity
@@ -251,58 +366,56 @@ class DistributedST(DistributedSolver):
         j = np.einsum("qa,q...->a...", self.lat.c.astype(float), state.f)
         return rho, half_force_velocity(self.lat, rho, j, state.force)
 
-    def communication_values_per_face(self) -> int:
-        per_dir = (len(self._right_going) if self.st_exchange == "crossing"
-                   else self.lat.q)
-        return 2 * per_dir * self.decomp.face_nodes
+    def _send_comps(self, direction: str) -> np.ndarray:
+        """Population components shipped in one direction of travel."""
+        if self.st_exchange == "full":
+            return np.arange(self.lat.q)
+        return self._right_going if direction == "right" else self._left_going
 
-    def _exchange(self) -> None:
+    def halo_values_per_direction(self) -> int:
+        """Crossing (or full-Q) populations of one edge plane."""
+        return len(self._send_comps("right")) * self.decomp.face_nodes
+
+    def _pack_halo(self, state, direction):
+        """Copy the outgoing edge plane of crossing populations."""
+        comps = self._send_comps(direction)
+        src = -2 if direction == "right" else 1
+        return np.ascontiguousarray(state.f[comps, src])
+
+    def _unpack_halo(self, state, side, buf):
+        """Write received crossing populations into a ghost plane."""
+        if side == "left":
+            state.f[self._send_comps("right"), 0] = buf
+        else:
+            state.f[self._send_comps("left"), -1] = buf
+
+    def _rank_step(self, state) -> None:
+        """Pull-stream, apply boundaries, BGK/Guo collide one slab."""
         lat = self.lat
-        comps_r = (self._right_going if self.st_exchange == "crossing"
-                   else np.arange(lat.q))
-        comps_l = (self._left_going if self.st_exchange == "crossing"
-                   else np.arange(lat.q))
-        for r, state in enumerate(self.ranks):
-            if self.decomp.has_right(r):
-                nb = self.ranks[self.decomp.right_of(r)]
-                # My last interior plane -> neighbour's left ghost.
-                src = -2 if state.ghost_right else -1
-                nb.f[comps_r, 0] = state.f[comps_r, src]
-                self.comm.record(comps_r.size * self.decomp.face_nodes)
-            if self.decomp.has_left(r):
-                nb = self.ranks[self.decomp.left_of(r)]
-                src = 1 if state.ghost_left else 0
-                nb.f[comps_l, -1] = state.f[comps_l, src]
-                self.comm.record(comps_l.size * self.decomp.face_nodes)
+        stream_pull(lat, state.f, out=state.scratch)
+        for b in state.boundaries:
+            b.post_stream(lat, state.scratch, state.f)
+        if state.force is None:
+            from ..core.collision import BGKCollision
 
-    def step(self) -> None:
-        self._exchange()
-        lat = self.lat
-        for state in self.ranks:
-            stream_pull(lat, state.f, out=state.scratch)
-            for b in state.boundaries:
-                b.post_stream(lat, state.scratch, state.f)
-            if state.force is None:
-                from ..core.collision import BGKCollision
+            f_star = BGKCollision(self.tau)(lat, state.scratch)
+        else:
+            from ..core.equilibrium import equilibrium as _eq
+            from ..core.forcing import guo_source, half_force_velocity
 
-                f_star = BGKCollision(self.tau)(lat, state.scratch)
-            else:
-                from ..core.equilibrium import equilibrium as _eq
-                from ..core.forcing import guo_source, half_force_velocity
-
-                f = state.scratch
-                rho = f.sum(axis=0)
-                j = np.einsum("qa,q...->a...", lat.c.astype(float), f)
-                u = half_force_velocity(lat, rho, j, state.force)
-                feq = _eq(lat, rho, u)
-                f_star = (f + (feq - f) / self.tau
-                          + guo_source(lat, u, state.force, self.tau))
-            solid = state.domain.solid_mask
-            if solid.any():
-                f_star[:, solid] = lat.w[:, None]
-            for b in state.boundaries:
-                b.post_collide(lat, f_star, state.scratch)
-            state.f, state.scratch = f_star, state.f
+            f = state.scratch
+            rho = f.sum(axis=0)
+            j = np.einsum("qa,q...->a...", lat.c.astype(float), f)
+            u = half_force_velocity(lat, rho, j, state.force)
+            feq = _eq(lat, rho, u)
+            f_star = (f + (feq - f) / self.tau
+                      + guo_source(lat, u, state.force, self.tau))
+        solid = state.domain.solid_mask
+        if solid.any():
+            f_star[:, solid] = lat.w[:, None]
+        for b in state.boundaries:
+            b.post_collide(lat, f_star, state.scratch)
+        state.f, state.scratch = f_star, state.f
 
 
 class DistributedMR(DistributedSolver):
@@ -315,17 +428,23 @@ class DistributedMR(DistributedSolver):
     and trading arithmetic for bandwidth vs crossing-only ST.
     """
 
+    field_attr = "m"
+
     def __init__(self, *args, scheme: str = "MR-P", **kwargs):
+        """Build an MR decomposition; ``scheme`` picks the reconstruction
+        (``"MR-P"`` projective, ``"MR-R"`` recursive)."""
         if scheme not in ("MR-P", "MR-R"):
             raise ValueError(f"scheme must be MR-P or MR-R, got {scheme!r}")
         self.scheme = scheme
         super().__init__(*args, **kwargs)
 
     def _init_rank_state(self, state, rho, u):
+        """Initialize the rank's moment field at equilibrium."""
         state.m = equilibrium_moments(self.lat, rho, u)
         state.scratch = np.empty((self.lat.q, *state.domain.shape))
 
     def _rank_macroscopic(self, state):
+        """Density and velocity straight from the conserved moments."""
         rho = state.m[0]
         j = state.m[1:1 + self.lat.d]
         if state.force is None:
@@ -334,39 +453,35 @@ class DistributedMR(DistributedSolver):
 
         return rho, half_force_velocity(self.lat, rho, j, state.force)
 
-    def communication_values_per_face(self) -> int:
-        return 2 * self.lat.n_moments * self.decomp.face_nodes
+    def halo_values_per_direction(self) -> int:
+        """All M moments of one edge plane."""
+        return self.lat.n_moments * self.decomp.face_nodes
 
-    def _exchange(self) -> None:
-        for r, state in enumerate(self.ranks):
-            if self.decomp.has_right(r):
-                nb = self.ranks[self.decomp.right_of(r)]
-                src = -2 if state.ghost_right else -1
-                nb.m[:, 0] = state.m[:, src]
-                self.comm.record(self.lat.n_moments * self.decomp.face_nodes)
-            if self.decomp.has_left(r):
-                nb = self.ranks[self.decomp.left_of(r)]
-                src = 1 if state.ghost_left else 0
-                nb.m[:, -1] = state.m[:, src]
-                self.comm.record(self.lat.n_moments * self.decomp.face_nodes)
+    def _pack_halo(self, state, direction):
+        """Copy the outgoing edge plane of the moment field."""
+        src = -2 if direction == "right" else 1
+        return np.ascontiguousarray(state.m[:, src])
 
-    def step(self) -> None:
-        self._exchange()
+    def _unpack_halo(self, state, side, buf):
+        """Write received moments into a ghost plane."""
+        state.m[:, 0 if side == "left" else -1] = buf
+
+    def _rank_step(self, state) -> None:
+        """Moment-space collide, reconstruct, push-stream one slab."""
         lat = self.lat
-        for state in self.ranks:
-            if self.scheme == "MR-P":
-                m_star = collide_moments_projective(lat, state.m, self.tau,
-                                                    force=state.force)
-                f_star = f_from_moments(lat, m_star)
-            else:
-                f_star = collide_moments_recursive(lat, state.m, self.tau,
-                                                   force=state.force)
-            f_new = stream_push(lat, f_star, out=state.scratch)
-            for b in state.boundaries:
-                b.post_stream(lat, f_new, f_star)
-            state.m = moments_from_f(lat, f_new)
-            solid = state.domain.solid_mask
-            if solid.any():
-                state.m[:, solid] = 0.0
-                state.m[0, solid] = 1.0
-            state.scratch = f_star
+        if self.scheme == "MR-P":
+            m_star = collide_moments_projective(lat, state.m, self.tau,
+                                                force=state.force)
+            f_star = f_from_moments(lat, m_star)
+        else:
+            f_star = collide_moments_recursive(lat, state.m, self.tau,
+                                               force=state.force)
+        f_new = stream_push(lat, f_star, out=state.scratch)
+        for b in state.boundaries:
+            b.post_stream(lat, f_new, f_star)
+        state.m = moments_from_f(lat, f_new)
+        solid = state.domain.solid_mask
+        if solid.any():
+            state.m[:, solid] = 0.0
+            state.m[0, solid] = 1.0
+        state.scratch = f_star

@@ -42,6 +42,7 @@ def distributed_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
     u_in = channel_inlet_profile(lat, shape, u_max)
 
     def factory(rank: int, total: int):
+        """Boundary set for one rank: walls everywhere, I/O at the ends."""
         bcs = [HalfwayBounceBack()]
         if rank == 0:
             bcs.append(VelocityInlet(Plane(0, 0), u_in, method=bc_method))

@@ -1,0 +1,399 @@
+"""Multiprocess SPMD runtime for the distributed slab solvers.
+
+This module turns the emulated decomposition of
+:mod:`repro.parallel.decomposition` into genuinely concurrent execution:
+every :class:`~repro.parallel.decomposition.SlabDecomposition` rank runs
+as a real OS process (``multiprocessing``), its slab field and its
+one-node halo face buffers live in ``multiprocessing.shared_memory``
+blocks, and the collide -> exchange -> stream cadence is synchronized by a
+``multiprocessing.Barrier`` (two waits per step; see ``docs/PARALLEL.md``
+for the protocol proof sketch).
+
+The payload on the "wire" (the shared face buffers) is exactly what the
+emulated backend accounts: ST ranks ship the crossing populations of the
+edge plane (or all Q in ``st_exchange='full'`` mode), MR ranks ship the
+compressed M-moment plane (10 values per face node in D3Q19) and
+reconstruct the crossing populations locally. Both backends therefore
+reproduce the single-domain reference solvers to machine precision, and
+:class:`CommunicationReport` totals agree between them.
+
+On any worker failure the runtime degrades gracefully instead of
+deadlocking: the failing rank posts a structured
+:class:`WorkerFailure` and aborts the barrier, the surviving ranks
+unwind on ``BrokenBarrierError``, the parent unlinks every shared-memory
+segment and raises :class:`ParallelRuntimeError`.
+
+Entry points
+------------
+:func:`run_process`
+    One-call API: build the problem from a :class:`RunSpec`, run it on
+    ``spec.n_ranks`` worker processes, return a :class:`ProcessRunResult`
+    with the gathered fields, communication accounting and the merged
+    per-rank telemetry report.
+:class:`ProcessRuntime`
+    The reusable object behind it, exposing the shared-memory plan for
+    tests and tooling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import secrets
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..obs.merge import merge_rank_reports
+from .decomposition import CommunicationReport, DistributedSolver
+from .presets import distributed_channel_problem, distributed_periodic_problem
+
+__all__ = [
+    "RunSpec",
+    "WorkerFailure",
+    "ParallelRuntimeError",
+    "ProcessRunResult",
+    "ProcessRuntime",
+    "run_process",
+]
+
+#: Every shared-memory segment created by the runtime starts with this
+#: prefix (visible as ``/dev/shm/<prefix>-...`` on Linux), so leaked
+#: segments are attributable and tests can assert cleanup.
+SHM_PREFIX = "mrlbm"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Picklable description of a distributed problem.
+
+    Workers rebuild the *same* deterministic initial condition from this
+    spec on their side of the fork/spawn, so only halo faces — never
+    initial fields — cross process boundaries during a run.
+
+    Parameters
+    ----------
+    kind:
+        ``"channel"`` (the paper's proxy app) or ``"periodic"``.
+    scheme:
+        ``"ST"``, ``"MR-P"`` or ``"MR-R"``.
+    lattice:
+        Lattice name, e.g. ``"D2Q9"`` or ``"D3Q19"``.
+    shape:
+        Global grid shape.
+    n_ranks:
+        Number of slabs along axis 0 == number of worker processes.
+    tau:
+        BGK relaxation time.
+    options:
+        Extra keyword arguments forwarded to the problem preset
+        (``u_max``, ``bc_method``, ``rho0``, ``u0``, ``force``,
+        ``st_exchange``, ...).
+    fault:
+        Test hook: ``{"rank": r, "step": s}`` makes worker ``r`` raise a
+        ``RuntimeError`` at the start of step ``s``, exercising the
+        failure path (see ``tests/integration/test_process_runtime.py``).
+    """
+
+    kind: str
+    scheme: str
+    lattice: str
+    shape: tuple[int, ...]
+    n_ranks: int
+    tau: float = 0.8
+    options: dict = field(default_factory=dict)
+    fault: dict | None = None
+
+    def build(self) -> DistributedSolver:
+        """Construct the emulated solver this spec describes."""
+        if self.kind == "channel":
+            return distributed_channel_problem(
+                self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
+                tau=self.tau, **self.options)
+        if self.kind == "periodic":
+            return distributed_periodic_problem(
+                self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
+                tau=self.tau, **self.options)
+        raise ValueError(f"unknown problem kind {self.kind!r}")
+
+
+@dataclass
+class WorkerFailure:
+    """Structured record of one worker's failure."""
+
+    rank: int
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        """One-line ``rank N: Type: message`` rendering."""
+        return f"rank {self.rank}: {self.exc_type}: {self.message}"
+
+
+class ParallelRuntimeError(RuntimeError):
+    """A distributed run failed; carries every rank's failure record."""
+
+    def __init__(self, failures: list[WorkerFailure]):
+        self.failures = failures
+        lines = "\n  ".join(str(f) for f in failures) or "no failure detail"
+        super().__init__(
+            f"{len(failures)} worker(s) failed:\n  {lines}")
+
+
+@dataclass
+class ProcessRunResult:
+    """Outcome of a successful :func:`run_process` call."""
+
+    rho: np.ndarray
+    u: np.ndarray
+    comm: CommunicationReport
+    report: dict
+    per_rank: list[dict]
+    steps: int
+    n_ranks: int
+    wall_s: float
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared-memory block without adopting ownership.
+
+    Attaching re-registers the name with the process tree's (single,
+    inherited) resource tracker — a harmless set-add; ownership stays
+    with the creating parent, which unlinks (and thereby unregisters)
+    every segment exactly once in its cleanup path.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def shm_view(shm: shared_memory.SharedMemory,
+             shape: tuple[int, ...]) -> np.ndarray:
+    """A float64 ndarray view over a shared-memory block."""
+    return np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+
+
+def _nbytes(shape: tuple[int, ...]) -> int:
+    """Byte size of a float64 array of the given shape."""
+    return int(np.prod(shape)) * 8
+
+
+@dataclass
+class ShmPlan:
+    """Names and shapes of every shared block of one run (picklable).
+
+    Per rank: the canonical slab field block (``f`` for ST, ``m`` for MR,
+    refreshed by the worker after every step so the parent can snapshot
+    or gather at any barrier-consistent point) and up to two directed
+    send buffers holding one face payload each.
+    """
+
+    prefix: str
+    field: list[tuple[str, tuple[int, ...]]]
+    send_left: list[tuple[str, tuple[int, ...]] | None]
+    send_right: list[tuple[str, tuple[int, ...]] | None]
+
+    def all_names(self) -> list[str]:
+        """Every segment name in the plan."""
+        out = [name for name, _ in self.field]
+        for entry in (*self.send_left, *self.send_right):
+            if entry is not None:
+                out.append(entry[0])
+        return out
+
+
+def _build_plan(solver: DistributedSolver) -> ShmPlan:
+    """Lay out the shared-memory blocks for one run (names only)."""
+    prefix = f"{SHM_PREFIX}-{os.getpid()}-{secrets.token_hex(3)}"
+    fields, lefts, rights = [], [], []
+    payload = None
+    for r, state in enumerate(solver.ranks):
+        fshape = getattr(state, solver.field_attr).shape
+        fields.append((f"{prefix}-f{r}", tuple(fshape)))
+        if payload is None and (solver.decomp.has_right(r)
+                                or solver.decomp.has_left(r)):
+            direction = "right" if solver.decomp.has_right(r) else "left"
+            payload = tuple(solver._pack_halo(state, direction).shape)
+        lefts.append((f"{prefix}-l{r}", payload)
+                     if solver.decomp.has_left(r) else None)
+        rights.append((f"{prefix}-r{r}", payload)
+                      if solver.decomp.has_right(r) else None)
+    return ShmPlan(prefix, fields, lefts, rights)
+
+
+class ProcessRuntime:
+    """Run a :class:`RunSpec` on real worker processes over shared memory.
+
+    The parent keeps its own emulated solver instance purely as the
+    *shape and gather oracle*: it never steps it, but reuses its slab
+    layout to allocate shared blocks and, after the workers finish, to
+    assemble the global fields from the per-rank shared slabs.
+
+    Parameters
+    ----------
+    spec:
+        The problem to run.
+    start_method:
+        ``multiprocessing`` start method; default ``"fork"`` where
+        available (Linux), else ``"spawn"``.
+    barrier_timeout:
+        Seconds any rank waits at a halo barrier before declaring the
+        cohort broken. Guards against deadlock if a sibling dies without
+        aborting the barrier.
+    """
+
+    def __init__(self, spec: RunSpec, start_method: str | None = None,
+                 barrier_timeout: float = 120.0):
+        self.spec = spec
+        self.solver = spec.build()
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self.barrier_timeout = float(barrier_timeout)
+        self.plan: ShmPlan | None = None
+
+    # -- internals --------------------------------------------------------
+    def _create_blocks(self, plan: ShmPlan) -> dict[str, shared_memory.SharedMemory]:
+        """Create every shared segment of the plan (parent owns them)."""
+        blocks: dict[str, shared_memory.SharedMemory] = {}
+        try:
+            for name, shape in plan.field:
+                blocks[name] = shared_memory.SharedMemory(
+                    create=True, name=name, size=_nbytes(shape))
+            for entry in (*plan.send_left, *plan.send_right):
+                if entry is not None:
+                    name, shape = entry
+                    blocks[name] = shared_memory.SharedMemory(
+                        create=True, name=name, size=_nbytes(shape))
+        except Exception:
+            self._destroy_blocks(blocks)
+            raise
+        return blocks
+
+    @staticmethod
+    def _destroy_blocks(blocks: dict[str, shared_memory.SharedMemory]) -> None:
+        """Close and unlink every created segment, ignoring stragglers."""
+        for shm in blocks.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+
+    def _harvest(self, procs, errq, resq, run_timeout):
+        """Join workers while draining both queues; return (results, failures)."""
+        results: dict[int, dict] = {}
+        failures: list[WorkerFailure] = []
+        deadline = None if run_timeout is None else time.monotonic() + run_timeout
+        while True:
+            for q, sink in ((errq, failures), (resq, results)):
+                while True:
+                    try:
+                        item = q.get_nowait()
+                    except Exception:
+                        break
+                    if sink is failures:
+                        failures.append(WorkerFailure(**item))
+                    else:
+                        results[item["rank"]] = item
+            alive = [p for p in procs if p.is_alive()]
+            if not alive:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                for p in alive:
+                    p.terminate()
+                failures.append(WorkerFailure(
+                    -1, "TimeoutError",
+                    f"run exceeded {run_timeout:.0f}s; "
+                    f"ranks still alive: {[p.name for p in alive]}"))
+                break
+            alive[0].join(timeout=0.02)
+        for p in procs:
+            p.join(timeout=5.0)
+        for r, p in enumerate(procs):
+            if p.exitcode not in (0, None) and not any(
+                    f.rank == r for f in failures):
+                failures.append(WorkerFailure(
+                    r, "ProcessExit", f"worker exited with code {p.exitcode} "
+                    "without reporting a failure"))
+        return results, failures
+
+    # -- API --------------------------------------------------------------
+    def run(self, n_steps: int,
+            run_timeout: float | None = None) -> ProcessRunResult:
+        """Execute ``n_steps`` barrier-synchronized steps on all ranks.
+
+        Returns the gathered fields plus the merged telemetry report, or
+        raises :class:`ParallelRuntimeError` after cleaning up every
+        shared segment if any worker fails.
+        """
+        from .worker import worker_main
+
+        spec, solver = self.spec, self.solver
+        plan = self.plan = _build_plan(solver)
+        blocks = self._create_blocks(plan)
+        barrier = self._ctx.Barrier(spec.n_ranks)
+        errq = self._ctx.Queue()
+        resq = self._ctx.Queue()
+        procs = [
+            self._ctx.Process(
+                target=worker_main, name=f"mrlbm-rank{r}",
+                args=(spec, r, int(n_steps), plan, barrier, errq, resq,
+                      self.barrier_timeout),
+                daemon=True)
+            for r in range(spec.n_ranks)
+        ]
+        t0 = time.perf_counter()
+        try:
+            for p in procs:
+                p.start()
+            results, failures = self._harvest(procs, errq, resq, run_timeout)
+            wall = time.perf_counter() - t0
+            if failures or len(results) != spec.n_ranks:
+                if not failures:
+                    missing = sorted(set(range(spec.n_ranks)) - set(results))
+                    failures = [WorkerFailure(
+                        r, "MissingResult",
+                        "worker exited without posting a result")
+                        for r in missing]
+                raise ParallelRuntimeError(failures)
+
+            # Gather: copy each rank's shared slab into the parent's
+            # emulated states, then reuse its gather path.
+            for r, state in enumerate(solver.ranks):
+                name, shape = plan.field[r]
+                view = shm_view(blocks[name], shape)
+                getattr(state, solver.field_attr)[...] = view
+                del view
+            rho, u = solver.gather_macroscopic()
+            solver.time += int(n_steps)
+
+            comm = CommunicationReport()
+            per_rank = [results[r] for r in range(spec.n_ranks)]
+            for rep in per_rank:
+                comm.merge(CommunicationReport(
+                    bytes_sent=rep["comm"]["bytes_sent"],
+                    messages=rep["comm"]["messages"],
+                    steps=rep["comm"]["steps"]))
+            solver.comm.merge(comm)
+            report = merge_rank_reports(per_rank, wall_s=wall)
+            return ProcessRunResult(rho=rho, u=u, comm=comm, report=report,
+                                    per_rank=per_rank, steps=int(n_steps),
+                                    n_ranks=spec.n_ranks, wall_s=wall)
+        finally:
+            self._destroy_blocks(blocks)
+
+
+def run_process(spec: RunSpec, n_steps: int,
+                start_method: str | None = None,
+                barrier_timeout: float = 120.0,
+                run_timeout: float | None = None) -> ProcessRunResult:
+    """Build and run ``spec`` on ``spec.n_ranks`` worker processes."""
+    runtime = ProcessRuntime(spec, start_method=start_method,
+                             barrier_timeout=barrier_timeout)
+    return runtime.run(n_steps, run_timeout=run_timeout)

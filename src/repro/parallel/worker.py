@@ -1,0 +1,138 @@
+"""Worker-process entry point for the multiprocess slab runtime.
+
+Each worker rebuilds the deterministic problem from the pickled
+:class:`~repro.parallel.runtime.RunSpec`, adopts the shared-memory blocks
+named in the :class:`~repro.parallel.runtime.ShmPlan`, and then runs the
+barrier-synchronized SPMD loop for its single rank:
+
+1. **pack** — copy the outgoing edge planes into this rank's own send
+   buffers (crossing populations for ST, the M-moment plane for MR);
+2. **barrier** — everyone's sends are published;
+3. **unpack** — read the neighbours' send buffers into this rank's ghost
+   planes (writes touch only this rank's memory, so no locks are needed);
+4. **barrier** — everyone is done reading, buffers may be overwritten
+   next step;
+5. **compute** — the per-rank collide+stream
+   (:meth:`~repro.parallel.decomposition.DistributedSolver._rank_step`),
+   then publish the slab field to the rank's shared block.
+
+Failures never deadlock the cohort: an exception posts a structured
+record to the error queue and aborts the barrier, which unwinds every
+sibling with ``BrokenBarrierError``; the parent unlinks all shared
+segments (see :class:`~repro.parallel.runtime.ParallelRuntimeError`).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from threading import BrokenBarrierError
+
+from ..obs import Telemetry
+from .runtime import RunSpec, ShmPlan, attach_shm, shm_view
+
+__all__ = ["worker_main"]
+
+
+def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
+                barrier, errq, resq, barrier_timeout: float) -> None:
+    """Run one rank of a distributed problem to completion.
+
+    Invoked in a child process by
+    :meth:`~repro.parallel.runtime.ProcessRuntime.run`; communicates only
+    through the shared-memory blocks in ``plan``, the step ``barrier``
+    and the ``errq``/``resq`` queues.
+    """
+    shms = []
+    views = []
+
+    def _view_of(entry):
+        """Attach a planned block and wrap it as an ndarray view."""
+        name, shape = entry
+        shm = attach_shm(name)
+        shms.append(shm)
+        view = shm_view(shm, shape)
+        views.append(view)
+        return view
+
+    try:
+        solver = spec.build()
+        decomp = solver.decomp
+        state = solver.ranks[rank]
+        tel = Telemetry(record_spans=False)
+
+        fview = _view_of(plan.field[rank])
+        fview[...] = getattr(state, solver.field_attr)
+
+        has_l, has_r = decomp.has_left(rank), decomp.has_right(rank)
+        send_l = _view_of(plan.send_left[rank]) if has_l else None
+        send_r = _view_of(plan.send_right[rank]) if has_r else None
+        recv_l = (_view_of(plan.send_right[decomp.left_of(rank)])
+                  if has_l else None)
+        recv_r = (_view_of(plan.send_left[decomp.right_of(rank)])
+                  if has_r else None)
+
+        fault = spec.fault or {}
+        for step in range(n_steps):
+            if fault.get("rank") == rank and fault.get("step") == step:
+                raise RuntimeError(
+                    f"injected fault on rank {rank} at step {step}")
+            with tel.phase("step"):
+                with tel.phase("pack"):
+                    if send_r is not None:
+                        send_r[...] = solver._pack_halo(state, "right")
+                        solver.comm.record(send_r.size)
+                    if send_l is not None:
+                        send_l[...] = solver._pack_halo(state, "left")
+                        solver.comm.record(send_l.size)
+                with tel.phase("barrier"):
+                    barrier.wait(timeout=barrier_timeout)
+                with tel.phase("unpack"):
+                    if recv_l is not None:
+                        solver._unpack_halo(state, "left", recv_l)
+                    if recv_r is not None:
+                        solver._unpack_halo(state, "right", recv_r)
+                with tel.phase("barrier"):
+                    barrier.wait(timeout=barrier_timeout)
+                with tel.phase("compute"):
+                    solver._rank_step(state)
+                with tel.phase("publish"):
+                    fview[...] = getattr(state, solver.field_attr)
+            solver.comm.steps += 1
+            tel.count("steps")
+
+        resq.put({
+            "rank": rank,
+            "pid": os.getpid(),
+            "scheme": solver.scheme,
+            "steps": n_steps,
+            "n_fluid": state.n_interior_fluid(),
+            "wall_s": tel.phase_total("step"),
+            "comm": solver.comm.to_dict(),
+            "summary": tel.summary(),
+        })
+    except BrokenBarrierError:
+        # A sibling failed (or timed out) and aborted the barrier; unwind
+        # quietly — the culprit has already posted its failure record.
+        pass
+    except Exception as exc:
+        try:
+            errq.put({
+                "rank": rank,
+                "exc_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            })
+        finally:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+        raise SystemExit(1)
+    finally:
+        del views
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:
+                pass

@@ -53,6 +53,33 @@ class TestCommands:
             main(["run", "--problem", "taylor-green", "--shape", "8,8,8",
                   "--lattice", "D3Q19", "--steps", "1"])
 
+    def test_run_distributed_emulated(self, capsys):
+        rc = main(["run", "--scheme", "ST", "--shape", "24,10",
+                   "--steps", "4", "--ranks", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend = emulated" in out
+        assert "halo payload per cut face" in out
+
+    def test_run_distributed_process(self, capsys, tmp_path):
+        out_file = tmp_path / "fields.npz"
+        metrics = tmp_path / "m.jsonl"
+        rc = main(["run", "--scheme", "MR-P", "--shape", "24,10",
+                   "--steps", "4", "--ranks", "2", "--backend", "process",
+                   "--output", str(out_file), "--metrics", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend = process" in out
+        assert "cohort:" in out
+        assert out_file.exists() and metrics.exists()
+
+    def test_run_distributed_taylor_green(self, capsys):
+        rc = main(["run", "--problem", "taylor-green", "--scheme", "MR-R",
+                   "--shape", "24,24", "--steps", "4", "--ranks", "2",
+                   "--backend", "emulated"])
+        assert rc == 0
+        assert "2 rank(s)" in capsys.readouterr().out
+
     def test_run_vtk_output(self, tmp_path):
         out_file = tmp_path / "final.vtk"
         main(["run", "--scheme", "ST", "--shape", "16,8", "--steps", "5",
