@@ -1,0 +1,188 @@
+"""Selectable fast-path execution backends for the host solvers.
+
+This package is the architecture seam for host-side acceleration: the
+reference solvers in :mod:`repro.solver` stay the line-for-line
+transcription of the paper's algorithms, while the cores here provide
+faster realizations of the *same* steps, selected per solver via
+``Solver(..., backend=...)`` or ``mrlbm run/profile --accel``:
+
+``"reference"``
+    The solvers' own step methods — the validated baseline.
+``"fused"``
+    Pure-NumPy fused kernels (:mod:`repro.accel.fused`): BLAS-backed
+    moment projections, preallocated buffers, no post-collision
+    temporary. Always available.
+``"numba"``
+    JIT kernels (:mod:`repro.accel.numba_backend`) that fuse the
+    table-driven streaming gather into the adjacent compute stage.
+    Requires the optional ``numba`` extra (``pip install .[accel]``).
+
+Every backend reproduces the reference trajectory to machine precision
+(pinned by ``tests/unit/test_accel_backends.py``). Use
+:func:`available_backends` for runtime discovery and
+:func:`make_stepper` to bind a backend to a constructed solver.
+"""
+
+from __future__ import annotations
+
+from .fused import STREAM_MODES, FusedMRCore, FusedSTCore
+from .numba_backend import HAS_NUMBA, NumbaMRCore, NumbaSTCore
+from .tables import NeighborTable, clear_cache, neighbor_table, stream_gather
+
+__all__ = [
+    "BACKENDS",
+    "available_backends",
+    "make_stepper",
+    "FusedSTCore",
+    "FusedMRCore",
+    "NumbaSTCore",
+    "NumbaMRCore",
+    "NeighborTable",
+    "neighbor_table",
+    "stream_gather",
+    "clear_cache",
+    "HAS_NUMBA",
+    "STREAM_MODES",
+]
+
+#: Recognized backend names, in preference order.
+BACKENDS = ("reference", "fused", "numba")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names usable in this environment (numba only if importable)."""
+    return BACKENDS if HAS_NUMBA else BACKENDS[:-1]
+
+
+class _FusedSTStepper:
+    """Binds a :class:`FusedSTCore` to an :class:`~repro.solver.standard.STSolver`."""
+
+    backend = "fused"
+
+    def __init__(self, solver, stream: str = "auto"):
+        self.core = FusedSTCore(solver.lat, solver.domain.shape, solver.tau,
+                                stream=stream)
+        solid = solver.domain.solid_mask
+        self._solid = solid if solid.any() else None
+
+    def step(self, solver) -> None:
+        """One fused ST step updating ``solver.f`` in place."""
+        self.core.step(solver.f, solver._f_streamed, solver.boundaries,
+                       self._solid, solver.telemetry)
+
+
+class _FusedMRStepper:
+    """Binds a :class:`FusedMRCore` to an MR-P or MR-R solver."""
+
+    backend = "fused"
+
+    def __init__(self, solver, scheme: str, stream: str = "auto"):
+        self.core = FusedMRCore(
+            solver.lat, solver.domain.shape, solver.tau, scheme=scheme,
+            tau_bulk=getattr(solver, "tau_bulk", None), stream=stream,
+            f_scratch=solver._f_scratch)
+        solid = solver.domain.solid_mask
+        self._solid = solid if solid.any() else None
+
+    def step(self, solver) -> None:
+        """One fused MR step updating ``solver.m`` in place."""
+        self.core.step(solver.m, solver.boundaries, self._solid,
+                       solver.telemetry)
+
+
+class _NumbaSTStepper:
+    """Binds a :class:`NumbaSTCore` to an ST solver (periodic BGK only)."""
+
+    backend = "numba"
+
+    def __init__(self, solver):
+        self.core = NumbaSTCore(solver.lat, solver.domain.shape, solver.tau)
+
+    def step(self, solver) -> None:
+        """One JIT-fused ST step; rebinds the solver's lattice pair."""
+        solver.f, solver._f_streamed = self.core.step(
+            solver.f, solver._f_streamed, solver.telemetry)
+
+
+class _NumbaMRStepper:
+    """Binds a :class:`NumbaMRCore` to an MR solver (periodic only)."""
+
+    backend = "numba"
+
+    def __init__(self, solver, scheme: str):
+        self.core = NumbaMRCore(solver.lat, solver.domain.shape, solver.tau,
+                                scheme=scheme,
+                                tau_bulk=getattr(solver, "tau_bulk", None))
+
+    def step(self, solver) -> None:
+        """One JIT-fused MR step updating ``solver.m`` in place."""
+        self.core.step(solver.m, solver.telemetry)
+
+
+def _reject(solver, backend: str, why: str):
+    return ValueError(
+        f"backend {backend!r} does not support this configuration of "
+        f"{type(solver).__name__}: {why}; use backend='reference'"
+    )
+
+
+def make_stepper(solver, backend: str | None = None):
+    """Build the fast-path stepper bound to ``solver``.
+
+    The supported solver/feature matrix is checked here, *before* any
+    kernel runs: the fused backend accelerates the exact reference
+    solver classes (``STSolver`` with plain BGK, ``MRPSolver``,
+    ``MRRSolver`` — subclasses with overridden physics fall back to
+    ``reference`` semantics and are rejected), and the numba backend
+    additionally requires a fully periodic, solid-free, unforced,
+    boundary-free problem. Raises :class:`ValueError` for unsupported
+    combinations and :class:`RuntimeError` when numba is requested but
+    not installed.
+    """
+    # Local imports: the solver package imports this package for
+    # backend-name validation, so the reverse import must be deferred.
+    from ..core.collision import BGKCollision
+    from ..solver.moment import MRPSolver, MRRSolver
+    from ..solver.standard import STSolver
+
+    backend = solver.backend if backend is None else backend
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "reference":
+        return None
+
+    is_st = type(solver) is STSolver
+    is_mrp = type(solver) is MRPSolver
+    is_mrr = type(solver) is MRRSolver
+    if not (is_st or is_mrp or is_mrr):
+        raise _reject(
+            solver, backend,
+            "fast paths exist for STSolver, MRPSolver and MRRSolver only "
+            "(subclasses may override physics the kernels hard-code)")
+    if solver.force is not None:
+        raise _reject(solver, backend, "body forcing is not fused")
+    if is_st and type(solver.collision) is not BGKCollision:
+        raise _reject(solver, backend,
+                      "only the plain BGK collision is fused for ST")
+
+    if backend == "fused":
+        if is_st:
+            return _FusedSTStepper(solver)
+        return _FusedMRStepper(solver, "MR-P" if is_mrp else "MR-R")
+
+    # backend == "numba"
+    if not HAS_NUMBA:
+        raise RuntimeError(
+            "backend='numba' requested but numba is not installed; "
+            "install the optional extra (pip install .[accel]) or use "
+            "backend='fused'"
+        )
+    if solver.boundaries or solver.domain.solid_mask.any():
+        raise _reject(solver, backend,
+                      "the numba kernels support fully periodic, "
+                      "solid-free problems only")
+    if is_st:
+        return _NumbaSTStepper(solver)
+    return _NumbaMRStepper(solver, "MR-P" if is_mrp else "MR-R")

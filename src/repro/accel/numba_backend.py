@@ -1,0 +1,172 @@
+"""Optional Numba-JIT realization of the fused step kernels.
+
+The pure-NumPy fused cores (:mod:`repro.accel.fused`) still write the
+post-collision distribution to memory before streaming it. With Numba
+available, the streaming gather can be JIT-fused *into* the adjacent
+dense stage, so each node's populations live only in registers between
+phases — the host-side analogue of the paper's single-kernel GPU step:
+
+* **ST** — one kernel per step: gather the ``Q`` neighbor populations
+  through the :class:`~repro.accel.tables.NeighborTable`, compute the
+  Eq. 4 equilibrium and BGK relaxation locally, write the new lattice.
+* **MR-P / MR-R** — the moment-space collision (shared with the NumPy
+  core) produces the coefficient block ``G``; one kernel then evaluates
+  reconstruction (``[R | E3 | E4]`` columns), streaming (via the table)
+  and the moment projection ``m = P f`` per node, so the distribution
+  field is **never materialized** — moments -> f -> streamed f ->
+  moments in one pass, exactly Algorithm 2's promise.
+
+Numba is an optional extra (``pip install .[accel]``): this module
+imports cleanly without it, exposing :data:`HAS_NUMBA` so callers and
+tests can gate/skip. The JIT path supports fully periodic, solid-free,
+unforced problems (the regime the paper benchmarks); anything else is
+rejected by :func:`repro.accel.make_stepper` before a kernel runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import LatticeDescriptor
+from ..obs.telemetry import NULL_TELEMETRY
+from .fused import FusedMRCore
+from .tables import neighbor_table
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAS_NUMBA = True
+except ImportError:  # pragma: no cover - the common offline/CI path
+    numba = None
+    HAS_NUMBA = False
+
+__all__ = ["HAS_NUMBA", "NumbaSTCore", "NumbaMRCore"]
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(parallel=True, fastmath=False, cache=True)
+    def _st_bgk_kernel(f, out, src, c, w, cs2, cs4, keep):
+        """Fused gather + BGK collide: one pass over the flat node axis."""
+        q, n = src.shape
+        d = c.shape[1]
+        for node in numba.prange(n):
+            local = np.empty(q)
+            rho = 0.0
+            for i in range(q):
+                val = f[i, src[i, node]]
+                local[i] = val
+                rho += val
+            u = np.zeros(d)
+            for i in range(q):
+                for a in range(d):
+                    u[a] += c[i, a] * local[i]
+            usq = 0.0
+            for a in range(d):
+                u[a] /= rho
+                usq += u[a] * u[a]
+            for i in range(q):
+                cu = 0.0
+                for a in range(d):
+                    cu += c[i, a] * u[a]
+                feq = w[i] * rho * (1.0 + cu / cs2 + cu * cu / (2.0 * cs4)
+                                    - usq / (2.0 * cs2))
+                out[i, node] = feq + keep * (local[i] - feq)
+
+    @numba.njit(parallel=True, fastmath=False, cache=True)
+    def _moment_fused_kernel(g, rcext, mm, src, m_out):
+        """Reconstruct, stream and re-project in one pass per node.
+
+        ``g`` is the collided coefficient block ``(Mext, N)``; for each
+        node the ``Q`` streamed populations are evaluated on the fly as
+        ``rcext @ g[:, src]`` and immediately contracted with the moment
+        matrix — the distribution never touches memory.
+        """
+        q, n = src.shape
+        mext = rcext.shape[1]
+        m_rows = mm.shape[0]
+        for node in numba.prange(n):
+            fvec = np.empty(q)
+            for i in range(q):
+                s = src[i, node]
+                acc = 0.0
+                for k in range(mext):
+                    acc += rcext[i, k] * g[k, s]
+                fvec[i] = acc
+            for r in range(m_rows):
+                acc = 0.0
+                for i in range(q):
+                    acc += mm[r, i] * fvec[i]
+                m_out[r, node] = acc
+
+
+def _require_numba() -> None:
+    if not HAS_NUMBA:
+        raise RuntimeError(
+            "the 'numba' backend requires numba (pip install .[accel]); "
+            "use backend='fused' for the pure-NumPy fast path"
+        )
+
+
+class NumbaSTCore:
+    """JIT-fused gather+collide step for the ST scheme (periodic BGK).
+
+    Unlike :class:`~repro.accel.fused.FusedSTCore`, the step needs the
+    two lattice buffers to swap roles (the kernel reads one, writes the
+    other), so :meth:`step` returns the ``(f, scratch)`` pair for the
+    caller to rebind.
+    """
+
+    def __init__(self, lat: LatticeDescriptor, shape: tuple[int, ...],
+                 tau: float):
+        _require_numba()
+        self.lat = lat
+        self.shape = tuple(shape)
+        self.tau = float(tau)
+        self.keep = 1.0 - 1.0 / self.tau
+        self._src = neighbor_table(lat, self.shape).src
+        self._c = np.ascontiguousarray(lat.c, dtype=np.float64)
+        self._w = np.ascontiguousarray(lat.w)
+
+    def step(self, f: np.ndarray, scratch: np.ndarray, tel=NULL_TELEMETRY):
+        """Advance one step; returns the rebound ``(f, scratch)`` pair."""
+        lat = self.lat
+        with tel.phase("stream+collide"):
+            _st_bgk_kernel(f.reshape(lat.q, -1), scratch.reshape(lat.q, -1),
+                           self._src, self._c, self._w, lat.cs2, lat.cs4,
+                           self.keep)
+        return scratch, f
+
+
+class NumbaMRCore:
+    """JIT-fused MR-P / MR-R step: moments in, moments out, no f field.
+
+    The moment-space collision is delegated to the NumPy
+    :class:`~repro.accel.fused.FusedMRCore` (identical arithmetic, BLAS
+    friendly); the reconstruction + streaming + projection pipeline runs
+    as one JIT kernel over the neighbor table.
+    """
+
+    def __init__(self, lat: LatticeDescriptor, shape: tuple[int, ...],
+                 tau: float, scheme: str = "MR-P",
+                 tau_bulk: float | None = None):
+        _require_numba()
+        self.lat = lat
+        self.shape = tuple(shape)
+        # Reuse the NumPy core's collision stage and precomputed [R|E3|E4].
+        self._core = FusedMRCore(lat, shape, tau, scheme=scheme,
+                                 tau_bulk=tau_bulk, stream="roll",
+                                 alloc_f=False)
+        self._src = neighbor_table(lat, self.shape).src
+        self.scheme = scheme
+
+    def step(self, m: np.ndarray, tel=NULL_TELEMETRY) -> None:
+        """Advance the ``(M, *grid)`` moment field one step in place."""
+        lat = self.lat
+        core = self._core
+        mf = m.reshape(lat.n_moments, -1)
+        with tel.phase("collide"):
+            core._collide(mf)
+        with tel.phase("stream+moments"):
+            _moment_fused_kernel(core._g, core._rcext, core._mm, self._src,
+                                 mf)

@@ -1,0 +1,103 @@
+"""Precomputed periodic neighbor-index tables for streaming gathers.
+
+Exact streaming (paper Eq. 7) on a periodic grid is a fixed permutation of
+the lattice sites: component ``i`` of the streamed field at node ``x`` is
+the pre-stream value at ``x - c_i`` (push and pull use the same
+displacement, see :mod:`repro.core.streaming`). The reference solvers
+realize that permutation as ``Q`` separate ``np.roll`` passes — up to
+``D`` slice copies *per component*. A :class:`NeighborTable` precomputes
+the flat source index of every ``(component, node)`` pair once per
+``(lattice, shape)``, so the whole propagation step collapses into a
+single ``np.take`` gather — the host-side analogue of the index tables
+indirect-addressing GPU kernels stream through
+(:mod:`repro.gpu.kernels.indirect`), and the structure the Numba backend
+JIT-fuses straight into its collide loop.
+
+Tables are cached per ``(lattice name, shape)``; they are pure functions
+of both, so the cache never needs invalidation (``clear_cache`` exists
+for tests and memory-conscious callers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice import LatticeDescriptor
+
+__all__ = ["NeighborTable", "neighbor_table", "clear_cache", "stream_gather"]
+
+
+class NeighborTable:
+    """Flat gather indices realizing periodic streaming for one grid.
+
+    Attributes
+    ----------
+    src:
+        ``(Q, N)`` array of flat node indices with
+        ``streamed[q].ravel()[n] == f[q].ravel()[src[q, n]]`` — i.e. the
+        source node of the Eq. 7 displacement under periodic wrap.
+    flat:
+        ``src`` with per-component offsets ``q * N`` added, so one
+        ``np.take`` over the raveled ``(Q, N)`` field performs the whole
+        propagation step in a single gather pass.
+    """
+
+    def __init__(self, lat: LatticeDescriptor, shape: tuple[int, ...]):
+        if len(shape) != lat.d:
+            raise ValueError(
+                f"shape {shape} does not match lattice dimension {lat.d}"
+            )
+        self.lat_name = lat.name
+        self.shape = tuple(int(s) for s in shape)
+        self.n_nodes = int(np.prod(self.shape))
+        coords = np.indices(self.shape).reshape(lat.d, self.n_nodes)
+        src = np.zeros((lat.q, self.n_nodes), dtype=np.intp)
+        strides = np.ones(lat.d, dtype=np.intp)
+        for a in range(lat.d - 2, -1, -1):
+            strides[a] = strides[a + 1] * self.shape[a + 1]
+        for q in range(lat.q):
+            for a in range(lat.d):
+                src[q] += ((coords[a] - lat.c[q, a]) % self.shape[a]) * strides[a]
+        self.src = src
+        self.flat = (src + (np.arange(lat.q, dtype=np.intp)[:, None]
+                            * self.n_nodes)).ravel()
+
+    def gather(self, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Stream a ``(Q, *shape)`` (or ``(Q, N)``) field in one gather.
+
+        Equivalent to :func:`repro.core.streaming.stream_push` (and, by
+        the shared-displacement convention, ``stream_pull``) — the result
+        is a pure permutation, so it matches the roll-based reference
+        bit for bit. ``out`` must not alias ``f``.
+        """
+        q = self.src.shape[0]
+        if out is None:
+            out = np.empty((q, *self.shape), dtype=f.dtype)
+        if out is f or np.shares_memory(f, out):
+            raise ValueError("gather cannot stream in place: out aliases f")
+        np.take(f.reshape(-1), self.flat, out=out.reshape(-1))
+        return out
+
+
+#: Cache of built tables, keyed by (lattice name, grid shape).
+_CACHE: dict[tuple[str, tuple[int, ...]], NeighborTable] = {}
+
+
+def neighbor_table(lat: LatticeDescriptor, shape: tuple[int, ...]) -> NeighborTable:
+    """Build (or fetch the cached) :class:`NeighborTable` for a grid."""
+    key = (lat.name, tuple(int(s) for s in shape))
+    table = _CACHE.get(key)
+    if table is None:
+        table = _CACHE[key] = NeighborTable(lat, key[1])
+    return table
+
+
+def clear_cache() -> None:
+    """Drop all cached tables (tests / memory-conscious callers)."""
+    _CACHE.clear()
+
+
+def stream_gather(lat: LatticeDescriptor, f: np.ndarray,
+                  out: np.ndarray | None = None) -> np.ndarray:
+    """Table-driven drop-in for :func:`repro.core.streaming.stream_push`."""
+    return neighbor_table(lat, f.shape[1:]).gather(f, out=out)

@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--watchdog", type=int, default=0, metavar="N",
                      help="check for NaN/Inf/over-speed divergence every N "
                      "steps (0 = off)")
+    run.add_argument("--accel", default="reference",
+                     choices=["reference", "fused", "numba"],
+                     help="execution backend for the solver step: the "
+                     "reference implementation, the fused NumPy fast "
+                     "path, or the numba JIT kernels (optional extra); "
+                     "see docs/PERFORMANCE.md")
 
     prof = sub.add_parser(
         "profile", help="per-phase time/traffic breakdown for a short workload")
@@ -86,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the virtual-GPU DRAM traffic measurement")
     prof.add_argument("--json", default=None, metavar="PATH",
                       help="also dump the raw profile results as JSON")
+    prof.add_argument("--accel", default="reference",
+                      choices=["reference", "fused", "numba", "compare"],
+                      help="execution backend to profile, or 'compare' to "
+                      "run every available backend on one periodic "
+                      "problem and report MLUPS side by side")
 
     sub.add_parser("tables", help="regenerate paper Tables 1-4")
     fig = sub.add_parser("figures", help="regenerate paper Figures 2-3")
@@ -120,9 +131,14 @@ def _distributed_spec(args, shape):
     """Build the :class:`~repro.parallel.RunSpec` for a distributed run."""
     from .parallel import RunSpec
 
+    accel = getattr(args, "accel", "reference")
+    if accel == "numba":
+        raise SystemExit(
+            "--accel numba is single-domain only; distributed runs "
+            "support --accel reference or fused")
     if args.problem == "channel":
         return RunSpec("channel", args.scheme, args.lattice, shape,
-                       args.ranks, tau=args.tau,
+                       args.ranks, tau=args.tau, accel=accel,
                        options={"u_max": args.u_max, "bc_method": "nebb"})
     if len(shape) != 2:
         raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
@@ -131,7 +147,8 @@ def _distributed_spec(args, shape):
     nu = (args.tau - 0.5) / 3.0
     rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
     return RunSpec("periodic", args.scheme, args.lattice, shape, args.ranks,
-                   tau=args.tau, options={"rho0": rho0, "u0": u0})
+                   tau=args.tau, accel=accel,
+                   options={"rho0": rho0, "u0": u0})
 
 
 def _cmd_run_distributed(args: argparse.Namespace) -> int:
@@ -150,7 +167,8 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
     n_fluid = solver.global_domain.n_fluid
     print(f"{args.scheme} / {args.lattice} on {shape} "
           f"({n_fluid:,} fluid nodes), tau = {args.tau}, "
-          f"{args.ranks} rank(s), backend = {backend}")
+          f"{args.ranks} rank(s), backend = {backend}, "
+          f"accel = {spec.accel}")
 
     t0 = time.perf_counter()
     report = None
@@ -226,17 +244,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _cmd_run_distributed(args)
 
     shape = tuple(int(s) for s in args.shape.split(","))
+    accel = getattr(args, "accel", "reference")
     if args.problem == "channel":
         solver = channel_problem(args.scheme, args.lattice, shape,
                                  tau=args.tau, u_max=args.u_max,
-                                 bc_method=args.bc)
+                                 bc_method=args.bc, backend=accel)
     else:
         if len(shape) != 2:
             raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
         nu = (args.tau - 0.5) / 3.0
         rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
         solver = periodic_problem(args.scheme, args.lattice, shape, args.tau,
-                                  rho0=rho0, u0=u0)
+                                  rho0=rho0, u0=u0, backend=accel)
 
     n_fluid = solver.domain.n_fluid
     t0 = time.perf_counter()
@@ -285,7 +304,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         callback_interval = args.report_interval
 
     print(f"{args.scheme} / {args.lattice} on {shape} "
-          f"({n_fluid:,} fluid nodes), tau = {args.tau}")
+          f"({n_fluid:,} fluid nodes), tau = {args.tau}, "
+          f"accel = {accel}")
     try:
         from .obs import StabilityError
 
@@ -332,7 +352,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             mpath = "run.manifest.json"
         write_manifest(mpath, solver, problem=args.problem,
-                       u_max=args.u_max, bc=args.bc,
+                       u_max=args.u_max, bc=args.bc, accel=accel,
                        command="mrlbm run")
         print(f"wrote {mpath}")
     return 0
@@ -340,20 +360,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .obs import PROFILE_SCHEMES, format_profile, profile_scheme
+    from .obs.profile import compare_backends, format_backend_comparison
 
     shape = None
     if args.shape:
         shape = tuple(int(s) for s in args.shape.split(","))
     schemes = PROFILE_SCHEMES if args.scheme == "all" else (args.scheme,)
+    accel = getattr(args, "accel", "reference")
     results = []
     for i, scheme in enumerate(schemes):
+        if i:
+            print()
+        if accel == "compare":
+            if scheme.upper() == "AA":
+                print("AA: no fast-path backend yet; skipped in comparison")
+                continue
+            result = compare_backends(scheme, lattice=args.lattice,
+                                      shape=shape, steps=args.steps,
+                                      tau=args.tau)
+            results.append(result)
+            print(format_backend_comparison(result))
+            continue
         result = profile_scheme(scheme, lattice=args.lattice, shape=shape,
                                 steps=args.steps, tau=args.tau,
                                 device=args.device,
-                                measure_traffic=not args.no_traffic)
+                                measure_traffic=not args.no_traffic,
+                                accel=accel)
         results.append(result)
-        if i:
-            print()
         print(format_profile(result))
     if args.json:
         import json as _json

@@ -35,10 +35,21 @@ def stream_push(lat: LatticeDescriptor, f: np.ndarray, out: np.ndarray | None = 
     Boundary conditions replace the periodic wrap-around values afterwards
     (all solvers in this package keep a one-node solid/boundary frame or
     explicitly fix the boundary populations post-stream).
+
+    ``out`` must be a distinct buffer: streaming is a grid-wide
+    permutation, so writing into ``f`` while the per-component loop is
+    still reading it would silently corrupt components. Overlapping
+    buffers raise ``ValueError``.
     """
     grid_axes = tuple(range(f.ndim - 1))  # axes of a single component f[i]
     if out is None:
         out = np.empty_like(f)
+    elif out is f or np.shares_memory(f, out):
+        raise ValueError(
+            "stream_push cannot stream in place: out aliases f (the roll "
+            "loop would read components already overwritten); pass a "
+            "separate output buffer"
+        )
     for i in range(lat.q):
         out[i] = np.roll(f[i], shift=tuple(lat.c[i]), axis=grid_axes)
     return out

@@ -24,7 +24,9 @@ from .exporters import (
 )
 from .manifest import RunManifest, load_manifest, manifest_path_for, write_manifest
 from .merge import merge_rank_reports
-from .profile import PROFILE_SCHEMES, format_profile, profile_scheme
+from .profile import (PROFILE_SCHEMES, compare_backends,
+                      format_backend_comparison, format_profile,
+                      profile_scheme)
 from .telemetry import NULL_TELEMETRY, NullTelemetry, PhaseStats, Span, Telemetry
 from .watchdog import SOUND_SPEED, StabilityError, StabilityWatchdog
 
@@ -47,6 +49,8 @@ __all__ = [
     "SOUND_SPEED",
     "profile_scheme",
     "format_profile",
+    "compare_backends",
+    "format_backend_comparison",
     "PROFILE_SCHEMES",
     "merge_rank_reports",
 ]

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from .telemetry import Telemetry
 
-__all__ = ["profile_scheme", "format_profile", "PROFILE_SCHEMES"]
+__all__ = ["profile_scheme", "format_profile", "compare_backends",
+           "format_backend_comparison", "PROFILE_SCHEMES"]
 
 PROFILE_SCHEMES = ("ST", "MR-P", "MR-R", "AA")
 
@@ -29,7 +30,7 @@ def _default_shape(ndim: int) -> tuple[int, ...]:
 
 
 def _build_solver(scheme: str, lattice: str, shape: tuple[int, ...],
-                  tau: float, u_max: float):
+                  tau: float, u_max: float, accel: str = "reference"):
     from ..solver import channel_problem, periodic_problem
     from ..solver.aa import AASolver
     from ..geometry.domain import periodic_box
@@ -37,6 +38,11 @@ def _build_solver(scheme: str, lattice: str, shape: tuple[int, ...],
     from ..validation import taylor_green_fields
 
     if scheme.upper() == "AA":
+        if accel != "reference":
+            raise ValueError(
+                "the AA scheme has no fast-path backend yet; "
+                "use --accel reference"
+            )
         lat = get_lattice(lattice)
         if lat.d != 2:
             solver = AASolver(lat, periodic_box(shape), tau)
@@ -47,19 +53,22 @@ def _build_solver(scheme: str, lattice: str, shape: tuple[int, ...],
                               rho0=rho0, u0=u0)
         return solver
     if scheme.upper() in ("ST", "MR-P", "MR-R"):
-        return channel_problem(scheme, lattice, shape, tau=tau, u_max=u_max)
-    return periodic_problem(scheme, lattice, shape, tau)
+        return channel_problem(scheme, lattice, shape, tau=tau, u_max=u_max,
+                               backend=accel)
+    return periodic_problem(scheme, lattice, shape, tau, backend=accel)
 
 
 def profile_scheme(scheme: str = "MR-P", lattice: str = "D2Q9",
                    shape: tuple[int, ...] | None = None, steps: int = 40,
                    tau: float = 0.8, u_max: float = 0.05,
                    device: str = "V100",
-                   measure_traffic: bool = True) -> dict:
+                   measure_traffic: bool = True,
+                   accel: str = "reference") -> dict:
     """Profile one scheme; returns a JSON-serializable result dict.
 
-    The per-phase timings come from a telemetry-instrumented reference
-    run; the traffic columns execute the corresponding virtual-GPU kernel
+    The per-phase timings come from a telemetry-instrumented run of the
+    selected execution backend (``accel``, see :mod:`repro.accel`); the
+    traffic columns execute the corresponding virtual-GPU kernel
     under a :class:`~repro.gpu.memory.MemoryTracker` (cached — see
     :func:`repro.bench.measure.measure_channel_traffic`).
     """
@@ -69,7 +78,7 @@ def profile_scheme(scheme: str = "MR-P", lattice: str = "D2Q9",
     lat = get_lattice(lattice)
     if shape is None:
         shape = _default_shape(lat.d)
-    solver = _build_solver(scheme, lattice, shape, tau, u_max)
+    solver = _build_solver(scheme, lattice, shape, tau, u_max, accel=accel)
     tel = Telemetry()
     solver.attach_telemetry(tel)
     solver.run(int(steps))
@@ -91,6 +100,7 @@ def profile_scheme(scheme: str = "MR-P", lattice: str = "D2Q9",
 
     result = {
         "scheme": scheme.upper(),
+        "backend": accel,
         "lattice": lat.name,
         "shape": list(shape),
         "tau": tau,
@@ -125,9 +135,11 @@ def format_profile(result: dict) -> str:
     """Render one :func:`profile_scheme` result as a fixed-width report."""
     lines = []
     shape = "x".join(str(s) for s in result["shape"])
+    backend = result.get("backend", "reference")
     lines.append(
         f"{result['scheme']} / {result['lattice']} on {shape} "
         f"({result['n_fluid']:,} fluid nodes), tau = {result['tau']}, "
+        f"backend = {backend}, "
         f"{result['steps']} steps in {result['host_seconds']:.3f} s"
     )
     lines.append("")
@@ -162,4 +174,100 @@ def format_profile(result: dict) -> str:
     else:
         lines.append("  DRAM traffic: n/a (no virtual-GPU kernel for this "
                      "scheme/problem)")
+    return "\n".join(lines)
+
+
+def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
+                     shape: tuple[int, ...] | None = None, steps: int = 20,
+                     tau: float = 0.8, u_max: float = 0.05,
+                     backends: tuple[str, ...] | None = None) -> dict:
+    """Run every requested backend on one periodic problem, side by side.
+
+    A fully periodic box is used so that *all* backends (including the
+    boundary-free numba JIT path) run the identical problem. Each
+    backend's MLUPS comes from its own telemetry registry, and each fast
+    backend's end state is compared against the reference run — the
+    ``max_abs_diff`` column is the measured parity, expected at machine
+    precision.
+
+    ``backends=None`` selects every backend available in this
+    environment (:func:`repro.accel.available_backends`).
+    """
+    import numpy as np
+
+    from ..accel import available_backends
+    from ..lattice import get_lattice
+    from ..solver import periodic_problem
+    from ..validation import taylor_green_fields
+
+    lat = get_lattice(lattice)
+    if shape is None:
+        shape = _default_shape(lat.d)
+    if backends is None:
+        backends = available_backends()
+
+    if lat.d == 2:
+        nu = lat.viscosity(tau)
+        rho0, u0 = taylor_green_fields(shape, 0.0, nu, u_max)
+    else:
+        # Smooth deterministic shear field so the run is not a trivial
+        # rest state (throughput is data-independent, parity is not).
+        x = [np.linspace(0.0, 2.0 * np.pi, s, endpoint=False) for s in shape]
+        mesh = np.meshgrid(*x, indexing="ij")
+        rho0 = 1.0
+        u0 = np.zeros((lat.d, *shape))
+        for a in range(lat.d):
+            u0[a] = u_max * np.sin(mesh[(a + 1) % lat.d])
+
+    rows = []
+    reference_state = None
+    reference_mlups = None
+    for backend in backends:
+        solver = periodic_problem(scheme, lattice, shape, tau,
+                                  rho0=rho0, u0=u0, backend=backend)
+        tel = Telemetry(record_spans=False)
+        solver.attach_telemetry(tel)
+        solver.run(int(steps))
+        rho, u = solver.macroscopic()
+        state = np.concatenate([rho[None], u])
+        mlups = tel.mlups(solver.domain.n_fluid)
+        if backend == "reference":
+            reference_state = state
+            reference_mlups = mlups
+        diff = (float(np.abs(state - reference_state).max())
+                if reference_state is not None else float("nan"))
+        rows.append({
+            "backend": backend,
+            "mlups": mlups,
+            "speedup": (mlups / reference_mlups)
+            if reference_mlups else float("nan"),
+            "max_abs_diff": diff,
+            "phases": {k: v.to_dict() for k, v in sorted(tel.phases.items())},
+        })
+
+    return {
+        "scheme": scheme.upper(),
+        "lattice": lat.name,
+        "shape": list(shape),
+        "tau": tau,
+        "steps": int(steps),
+        "backends": rows,
+    }
+
+
+def format_backend_comparison(result: dict) -> str:
+    """Render one :func:`compare_backends` result as a fixed-width table."""
+    shape = "x".join(str(s) for s in result["shape"])
+    lines = [
+        f"{result['scheme']} / {result['lattice']} on {shape}, "
+        f"tau = {result['tau']}, {result['steps']} steps per backend",
+        "",
+        f"  {'backend':<12s} {'MLUPS':>10s} {'speedup':>9s} "
+        f"{'max |diff| vs reference':>25s}",
+    ]
+    for row in result["backends"]:
+        lines.append(
+            f"  {row['backend']:<12s} {row['mlups']:10.3f} "
+            f"{row['speedup']:8.2f}x {row['max_abs_diff']:25.3e}"
+        )
     return "\n".join(lines)

@@ -194,7 +194,8 @@ class DistributedSolver:
                  tau: float, n_ranks: int, periodic_axis0: bool,
                  boundary_factory, rho0=1.0, u0: np.ndarray | None = None,
                  force: np.ndarray | None = None,
-                 st_exchange: str = "crossing"):
+                 st_exchange: str = "crossing",
+                 accel: str = "reference"):
         self.lat = lat
         self.global_domain = global_domain
         self.tau = float(tau)
@@ -205,6 +206,18 @@ class DistributedSolver:
         if st_exchange not in ("crossing", "full"):
             raise ValueError("st_exchange must be 'crossing' or 'full'")
         self.st_exchange = st_exchange
+        if accel not in ("reference", "fused"):
+            raise ValueError(
+                f"distributed solvers support accel='reference' or 'fused', "
+                f"got {accel!r} (the numba backend handles single-domain "
+                f"periodic problems only)"
+            )
+        if accel == "fused" and force is not None:
+            raise ValueError(
+                "accel='fused' does not support body forcing; "
+                "use accel='reference'"
+            )
+        self.accel = accel
 
         rho_g = np.broadcast_to(np.asarray(rho0, dtype=np.float64),
                                 global_domain.shape).copy()
@@ -392,6 +405,18 @@ class DistributedST(DistributedSolver):
     def _rank_step(self, state) -> None:
         """Pull-stream, apply boundaries, BGK/Guo collide one slab."""
         lat = self.lat
+        if self.accel == "fused":
+            core = getattr(state, "accel_core", None)
+            if core is None:
+                from ..accel import FusedSTCore
+
+                core = state.accel_core = FusedSTCore(
+                    lat, state.domain.shape, self.tau)
+                solid = state.domain.solid_mask
+                state.accel_solid = solid if solid.any() else None
+            core.step(state.f, state.scratch, state.boundaries,
+                      state.accel_solid)
+            return
         stream_pull(lat, state.f, out=state.scratch)
         for b in state.boundaries:
             b.post_stream(lat, state.scratch, state.f)
@@ -469,6 +494,18 @@ class DistributedMR(DistributedSolver):
     def _rank_step(self, state) -> None:
         """Moment-space collide, reconstruct, push-stream one slab."""
         lat = self.lat
+        if self.accel == "fused":
+            core = getattr(state, "accel_core", None)
+            if core is None:
+                from ..accel import FusedMRCore
+
+                core = state.accel_core = FusedMRCore(
+                    lat, state.domain.shape, self.tau, scheme=self.scheme,
+                    f_scratch=state.scratch)
+                solid = state.domain.solid_mask
+                state.accel_solid = solid if solid.any() else None
+            core.step(state.m, state.boundaries, state.accel_solid)
+            return
         if self.scheme == "MR-P":
             m_star = collide_moments_projective(lat, state.m, self.tau,
                                                 force=state.force)

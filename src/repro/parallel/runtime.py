@@ -91,6 +91,10 @@ class RunSpec:
         Extra keyword arguments forwarded to the problem preset
         (``u_max``, ``bc_method``, ``rho0``, ``u0``, ``force``,
         ``st_exchange``, ...).
+    accel:
+        Per-rank execution backend, ``"reference"`` or ``"fused"`` (see
+        :mod:`repro.accel`); every worker steps its slab through the
+        selected kernels.
     fault:
         Test hook: ``{"rank": r, "step": s}`` makes worker ``r`` raise a
         ``RuntimeError`` at the start of step ``s``, exercising the
@@ -105,17 +109,18 @@ class RunSpec:
     tau: float = 0.8
     options: dict = field(default_factory=dict)
     fault: dict | None = None
+    accel: str = "reference"
 
     def build(self) -> DistributedSolver:
         """Construct the emulated solver this spec describes."""
         if self.kind == "channel":
             return distributed_channel_problem(
                 self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
-                tau=self.tau, **self.options)
+                tau=self.tau, accel=self.accel, **self.options)
         if self.kind == "periodic":
             return distributed_periodic_problem(
                 self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
-                tau=self.tau, **self.options)
+                tau=self.tau, accel=self.accel, **self.options)
         raise ValueError(f"unknown problem kind {self.kind!r}")
 
 

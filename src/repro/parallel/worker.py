@@ -105,6 +105,7 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
             "rank": rank,
             "pid": os.getpid(),
             "scheme": solver.scheme,
+            "accel": solver.accel,
             "steps": n_steps,
             "n_fluid": state.n_interior_fluid(),
             "wall_s": tel.phase_total("step"),

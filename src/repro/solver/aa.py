@@ -72,7 +72,7 @@ class AASolver(Solver):
                              axis=grid_axes)
         return out
 
-    def step(self) -> None:
+    def _step_reference(self) -> None:
         lat = self.lat
         tel = self.telemetry
         grid_axes = tuple(range(self.f.ndim - 1))
@@ -83,12 +83,15 @@ class AASolver(Solver):
                 self.f = f_star[lat.opposite]
         else:
             # Odd: gather the swapped-and-shifted state, collide, scatter
-            # back to the very slots the reads came from.
-            with tel.phase("stream"):
+            # back to the very slots the reads came from. The two memory
+            # passes are distinct sub-phases (entering one "stream" phase
+            # twice per step would double its call count and let profile
+            # summaries misattribute stream vs collide time).
+            with tel.phase("stream:gather"):
                 state = self._gathered_state()
             with tel.phase("collide"):
                 f_star = self._collision(lat, state)
-            with tel.phase("stream"):
+            with tel.phase("stream:scatter"):
                 out = np.empty_like(self.f)
                 for i in range(lat.q):
                     # F*_i(x) -> slot (x + c_i, i).

@@ -62,6 +62,14 @@ class Solver(ABC):
         Initial density (scalar or ``grid``-shaped) and velocity
         (``None`` for rest, or ``(D, *grid)``). The initial state is the
         corresponding equilibrium.
+    backend:
+        Execution backend for :meth:`step`: ``"reference"`` (the
+        scheme's own step method), ``"fused"`` (pure-NumPy fused
+        kernels) or ``"numba"`` (JIT kernels, optional extra). Fast
+        backends reproduce the reference trajectory to machine
+        precision; see :mod:`repro.accel`. The backend name is checked
+        here; solver/feature compatibility is checked when the first
+        step builds the stepper.
     """
 
     #: short scheme label used by benchmarks ("ST", "MR-P", "MR-R")
@@ -71,7 +79,16 @@ class Solver(ABC):
                  boundaries: Sequence[Boundary] = (),
                  rho0: float | np.ndarray = 1.0,
                  u0: np.ndarray | None = None,
-                 force: np.ndarray | None = None):
+                 force: np.ndarray | None = None,
+                 backend: str = "reference"):
+        from ..accel import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.backend = backend
+        self._stepper = None
         if domain.ndim != lat.d:
             raise ValueError(
                 f"domain dimension {domain.ndim} does not match lattice D={lat.d}"
@@ -127,8 +144,25 @@ class Solver(ABC):
         """Set the internal state to the equilibrium of (rho, u)."""
 
     @abstractmethod
+    def _step_reference(self) -> None:
+        """One timestep of the scheme's reference implementation."""
+
     def step(self) -> None:
-        """Advance the simulation by one timestep."""
+        """Advance one timestep via the selected execution backend.
+
+        The fast-path stepper is built lazily on the first step (solver
+        subclasses finish configuring themselves after the base
+        constructor runs), so unsupported backend/solver combinations
+        raise here rather than silently falling back.
+        """
+        if self.backend == "reference":
+            self._step_reference()
+            return
+        if self._stepper is None:
+            from ..accel import make_stepper
+
+            self._stepper = make_stepper(self)
+        self._stepper.step(self)
 
     @abstractmethod
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
@@ -151,7 +185,13 @@ class Solver(ABC):
     def run(self, n_steps: int,
             callback: Callable[["Solver"], None] | None = None,
             callback_interval: int = 1) -> "Solver":
-        """Advance ``n_steps`` steps, optionally invoking a callback."""
+        """Advance ``n_steps`` steps, optionally invoking a callback.
+
+        If the callback exposes a ``flush(solver)`` method (monitors
+        do), it is invoked once after the final step, so the end state
+        is observed even when ``n_steps`` is not a multiple of the
+        callback's own cadence.
+        """
         tel = self.telemetry
         completed = 0
         try:
@@ -162,6 +202,10 @@ class Solver(ABC):
                 completed += 1
                 if callback is not None and self.time % callback_interval == 0:
                     callback(self)
+            if callback is not None:
+                flush = getattr(callback, "flush", None)
+                if flush is not None:
+                    flush(self)
         finally:
             if tel.enabled and completed:
                 tel.count("steps", completed)

@@ -40,7 +40,7 @@ class _MomentSolver(Solver):
         """Post-collision distribution reconstructed from moments."""
         raise NotImplementedError
 
-    def step(self) -> None:
+    def _step_reference(self) -> None:
         tel = self.telemetry
         with tel.phase("collide"):
             f_star = self._post_collision_f()

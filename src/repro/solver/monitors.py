@@ -46,6 +46,18 @@ class Monitor:
             self.times.append(solver.time)
             self.values.append(self.sample(solver))
 
+    def flush(self, solver) -> None:
+        """Record the current state if the cadence has not just done so.
+
+        :meth:`repro.solver.Solver.run` calls this once after its final
+        step, so a run whose length is not a multiple of ``every`` still
+        records the end state (previously that final sample was silently
+        dropped).
+        """
+        if not self.times or self.times[-1] != solver.time:
+            self.times.append(solver.time)
+            self.values.append(self.sample(solver))
+
     def series(self) -> tuple[np.ndarray, np.ndarray]:
         """(times, values) as arrays.
 
@@ -71,6 +83,13 @@ class Monitors:
     def __call__(self, solver) -> None:
         for m in self.monitors:
             m(solver)
+
+    def flush(self, solver) -> None:
+        """Forward the end-of-run flush to every composed monitor."""
+        for m in self.monitors:
+            flush = getattr(m, "flush", None)
+            if flush is not None:
+                flush(solver)
 
 
 class EnergyMonitor(Monitor):
@@ -142,6 +161,21 @@ class ConvergenceMonitor(Monitor):
             return
         self.times.append(solver.time)
         self.values.append(self.sample(solver))
+
+    def flush(self, solver) -> None:
+        """End-of-run flush: record the final delta against the baseline.
+
+        Without a baseline yet (flush before the first cadence visit)
+        only the baseline is recorded — the series never contains the
+        ``inf`` sentinel.
+        """
+        if self._last_u is None:
+            _, u = solver.macroscopic()
+            self._last_u = u.copy()
+            return
+        if not self.times or self.times[-1] != solver.time:
+            self.times.append(solver.time)
+            self.values.append(self.sample(solver))
 
     def sample(self, solver) -> float:
         _, u = solver.macroscopic()

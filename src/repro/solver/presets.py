@@ -62,7 +62,8 @@ def channel_problem(scheme: str, lattice: str | LatticeDescriptor,
                     shape: tuple[int, ...], tau: float = 0.8,
                     u_max: float = 0.05, bc_method: str = "regularized-fd",
                     start_from_profile: bool = True,
-                    outlet_tangential: str = "extrapolate") -> Solver:
+                    outlet_tangential: str = "extrapolate",
+                    backend: str = "reference") -> Solver:
     """Build a ready-to-run rectangular channel flow (the paper's proxy app).
 
     Parameters
@@ -81,6 +82,8 @@ def channel_problem(scheme: str, lattice: str | LatticeDescriptor,
     start_from_profile:
         Initialize the whole channel with the inlet profile (fast
         convergence) instead of fluid at rest.
+    backend:
+        Execution backend (see :mod:`repro.accel`).
     """
     lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
     if len(shape) != lat.d:
@@ -105,7 +108,8 @@ def channel_problem(scheme: str, lattice: str | LatticeDescriptor,
     if start_from_profile:
         u0 = np.zeros((lat.d, *shape))
         u0[:] = u_in[(slice(None), None) + (slice(None),) * (lat.d - 1)]
-    return make_solver(scheme, lat, domain, tau, boundaries=boundaries, u0=u0)
+    return make_solver(scheme, lat, domain, tau, boundaries=boundaries, u0=u0,
+                       backend=backend)
 
 
 def forced_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
@@ -139,11 +143,13 @@ def forced_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
 def periodic_problem(scheme: str, lattice: str | LatticeDescriptor,
                      shape: tuple[int, ...], tau: float = 0.8,
                      rho0: np.ndarray | float = 1.0,
-                     u0: np.ndarray | None = None) -> Solver:
+                     u0: np.ndarray | None = None,
+                     backend: str = "reference") -> Solver:
     """Fully periodic box (no boundaries) — e.g. for Taylor-Green vortices."""
     from ..geometry import periodic_box
 
     lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
     if len(shape) != lat.d:
         raise ValueError(f"shape {shape} does not match lattice dimension {lat.d}")
-    return make_solver(scheme, lat, periodic_box(shape), tau, rho0=rho0, u0=u0)
+    return make_solver(scheme, lat, periodic_box(shape), tau, rho0=rho0, u0=u0,
+                       backend=backend)

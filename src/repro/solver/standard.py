@@ -48,7 +48,7 @@ class STSolver(Solver):
         self.f = feq                        # current (post-collision) lattice
         self._f_streamed = np.empty_like(feq)
 
-    def step(self) -> None:
+    def _step_reference(self) -> None:
         tel = self.telemetry
         # Streaming (pull): gather post-collision values from neighbours.
         with tel.phase("stream"):

@@ -88,3 +88,61 @@ class TestFootprintStory:
         aa, st = make_pair("D2Q9", (8, 8))
         assert aa.state_values_per_node == 9
         assert st.state_values_per_node == 18
+
+
+class TestOddParity:
+    """Odd step counts and odd-time reads — the AA pattern's tricky half."""
+
+    @pytest.mark.parametrize("n_steps", [1, 3, 5, 7])
+    def test_matches_st_after_odd_step_counts(self, n_steps):
+        """Fresh runs ending mid-pair agree with ST at every odd length."""
+        aa, st = make_pair("D2Q9", (16, 12), seed=n_steps)
+        aa.run(n_steps)
+        st.run(n_steps)
+        ra, ua = aa.macroscopic()
+        rs, us = st.macroscopic()
+        assert np.abs(ra - rs).max() < 1e-13
+        assert np.abs(ua - us).max() < 1e-13
+
+    def test_macroscopic_at_odd_parity_is_pure(self):
+        """Odd-time macroscopic() gathers without touching solver state."""
+        aa, st = make_pair("D2Q9", (14, 10), seed=11)
+        aa.run(3)
+        assert aa.time % 2 == 1
+        f_before = aa.f.copy()
+        r1, u1 = aa.macroscopic()
+        r2, u2 = aa.macroscopic()
+        assert np.array_equal(aa.f, f_before)       # read did not mutate
+        assert np.array_equal(r1, r2)
+        assert np.array_equal(u1, u2)
+        # Mass/momentum computed through the odd-parity gather agree with
+        # the two-lattice solver's straight moments.
+        st.run(3)
+        rs, us = st.macroscopic()
+        assert np.abs(r1 - rs).max() < 1e-13
+        assert np.abs(u1 - us).max() < 1e-13
+
+    def test_phase_accounting_over_step_pairs(self):
+        """Per-phase telemetry adds up: distinct gather/scatter sub-phases,
+        correct call counts, and child times summing to the step time."""
+        from repro.obs import Telemetry
+
+        aa, _ = make_pair("D2Q9", (48, 48), seed=5)
+        tel = Telemetry()
+        aa.attach_telemetry(tel)
+        k = 4
+        aa.run(2 * k)
+
+        assert tel.phases["step"].calls == 2 * k
+        assert tel.phases["step/collide"].calls == 2 * k
+        assert tel.phases["step/stream:gather"].calls == k
+        assert tel.phases["step/stream:scatter"].calls == k
+        assert "step/stream" not in tel.phases
+
+        step_total = tel.phase_total("step")
+        children = sum(stats.total for path, stats in tel.phases.items()
+                       if path.startswith("step/"))
+        # Children are disjoint sub-spans of "step": their sum can never
+        # exceed it, and outside-phase overhead is a few allocations only.
+        assert children <= step_total
+        assert children >= 0.5 * step_total

@@ -1,0 +1,63 @@
+"""Fused fast-path backend inside the distributed slab runtime."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import RunSpec
+from repro.validation import taylor_green_fields
+
+
+def build_spec(kind, scheme, ranks, accel="reference"):
+    shape = (30, 18)
+    if kind == "channel":
+        opts = {"u_max": 0.04, "bc_method": "nebb"}
+    else:
+        nu = (0.8 - 0.5) / 3.0
+        rho0, u0 = taylor_green_fields(shape, 0.0, nu, 0.04)
+        opts = {"rho0": rho0, "u0": u0}
+    return RunSpec(kind, scheme, "D2Q9", shape, ranks, tau=0.8,
+                   options=opts, accel=accel)
+
+
+class TestEmulatedFusedParity:
+    @pytest.mark.parametrize("kind", ["channel", "periodic"])
+    @pytest.mark.parametrize("scheme", ["ST", "MR-P", "MR-R"])
+    def test_matches_reference_ranks(self, kind, scheme):
+        """Per-rank fused cores reproduce the reference slab trajectory."""
+        ref = build_spec(kind, scheme, 3).build()
+        fused = build_spec(kind, scheme, 3, accel="fused").build()
+        ref.run(10)
+        fused.run(10)
+        rho_r, u_r = ref.gather_macroscopic()
+        rho_f, u_f = fused.gather_macroscopic()
+        assert np.abs(rho_r - rho_f).max() < 1e-13
+        assert np.abs(u_r - u_f).max() < 1e-13
+
+    def test_fused_rank_count_invariance(self):
+        """The fused trajectory is independent of the slab count."""
+        two = build_spec("channel", "MR-P", 2, accel="fused").build()
+        five = build_spec("channel", "MR-P", 5, accel="fused").build()
+        two.run(12)
+        five.run(12)
+        rho_2, u_2 = two.gather_macroscopic()
+        rho_5, u_5 = five.gather_macroscopic()
+        assert np.abs(rho_2 - rho_5).max() < 1e-13
+        assert np.abs(u_2 - u_5).max() < 1e-13
+
+    def test_numba_rejected_for_distributed(self):
+        with pytest.raises(ValueError, match="numba"):
+            build_spec("channel", "ST", 2, accel="numba").build()
+
+
+class TestProcessFused:
+    def test_process_backend_runs_fused(self):
+        """Real worker processes honour RunSpec.accel and report it."""
+        from repro.parallel import run_process
+
+        res = run_process(build_spec("channel", "MR-P", 2, accel="fused"), 8)
+        ref = build_spec("channel", "MR-P", 2).build()
+        ref.run(8)
+        rho_r, u_r = ref.gather_macroscopic()
+        assert np.abs(res.rho - rho_r).max() < 1e-13
+        assert np.abs(res.u - u_r).max() < 1e-13
+        assert all(rec["accel"] == "fused" for rec in res.per_rank)

@@ -1,0 +1,179 @@
+"""Parity and validation tests for the fast-path execution backends.
+
+Every backend must reproduce the reference solvers to machine precision;
+these tests pin that contract on the repo's validation cases
+(Taylor-Green, Poiseuille channel, lid-driven cavity) and exercise the
+configuration-matrix error paths of :func:`repro.accel.make_stepper`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import (BACKENDS, HAS_NUMBA, FusedMRCore, available_backends,
+                         make_stepper)
+from repro.boundary import HalfwayBounceBack
+from repro.geometry import lid_driven_cavity, periodic_box
+from repro.lattice import get_lattice
+from repro.solver import (MRPSolver, PowerLawMRPSolver, channel_problem,
+                          make_solver, periodic_problem)
+from repro.validation import taylor_green_fields
+
+SCHEMES = ("ST", "MR-P", "MR-R")
+MACHINE_EPS = 1e-13
+
+
+def run_pair(build, backend, steps=8):
+    """Run reference and ``backend`` from identical state; return max diffs."""
+    ref = build("reference")
+    fast = build(backend)
+    ref.run(steps)
+    fast.run(steps)
+    rho_r, u_r = ref.macroscopic()
+    rho_f, u_f = fast.macroscopic()
+    return (float(np.abs(rho_r - rho_f).max()),
+            float(np.abs(u_r - u_f).max()))
+
+
+def taylor_green_builder(scheme, lattice_name, shape, tau=0.8):
+    lat = get_lattice(lattice_name)
+    if lat.d == 2:
+        rho0, u0 = taylor_green_fields(shape, 0.0, lat.viscosity(tau), 0.04)
+    else:
+        rng = np.random.default_rng(7)
+        rho0 = 1 + 0.02 * rng.standard_normal(shape)
+        u0 = 0.03 * rng.standard_normal((lat.d, *shape))
+    return lambda backend: periodic_problem(scheme, lat, shape, tau,
+                                            rho0=rho0, u0=u0, backend=backend)
+
+
+def cavity_builder(scheme, n=10, tau=0.8):
+    lat = get_lattice("D2Q9")
+    wall_u = np.zeros((2, n, n))
+    wall_u[0, :, -1] = 0.05
+    bcs = [HalfwayBounceBack(wall_velocity=wall_u)]
+
+    def build(backend):
+        return make_solver(scheme, lat, lid_driven_cavity(n), tau,
+                           boundaries=bcs, backend=backend)
+
+    return build
+
+
+class TestFusedParity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("lattice_name,shape", [
+        ("D2Q9", (20, 14)),
+        ("D3Q19", (8, 7, 6)),
+    ])
+    def test_taylor_green_periodic(self, scheme, lattice_name, shape):
+        """Fused == reference on periodic boxes, to machine precision."""
+        drho, du = run_pair(
+            taylor_green_builder(scheme, lattice_name, shape), "fused")
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_poiseuille_channel(self, scheme):
+        """Fused == reference with inlet/outlet + wall boundaries."""
+        drho, du = run_pair(
+            lambda backend: channel_problem(scheme, "D2Q9", (24, 12),
+                                            tau=0.8, u_max=0.04,
+                                            backend=backend), "fused")
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_lid_driven_cavity(self, scheme):
+        """Fused == reference with solid nodes and a moving-wall BC."""
+        drho, du = run_pair(cavity_builder(scheme), "fused", steps=12)
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    def test_bulk_viscosity_split(self):
+        """The two-relaxation trace split is fused identically."""
+        lat = get_lattice("D2Q9")
+        rho0, u0 = taylor_green_fields((16, 12), 0.0, lat.viscosity(0.8),
+                                       0.04)
+
+        def build(backend):
+            return MRPSolver(lat, periodic_box((16, 12)), 0.8, tau_bulk=1.1,
+                             rho0=rho0, u0=u0, backend=backend)
+
+        drho, du = run_pair(build, "fused")
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    def test_gather_stream_mode_matches_roll(self):
+        """The table-gather stream mode is the same permutation as roll."""
+        lat = get_lattice("D2Q9")
+        shape = (12, 10)
+        rho0, u0 = taylor_green_fields(shape, 0.0, lat.viscosity(0.8), 0.04)
+
+        def run_mode(mode):
+            solver = periodic_problem("MR-P", lat, shape, 0.8,
+                                      rho0=rho0, u0=u0)
+            core = FusedMRCore(lat, shape, 0.8, scheme="MR-P", stream=mode)
+            for _ in range(6):
+                core.step(solver.m, solver.boundaries, None)
+            return solver.m.copy()
+
+        assert np.array_equal(run_mode("roll"), run_mode("gather"))
+
+    def test_step_count_and_time_advance(self):
+        solver = taylor_green_builder("ST", "D2Q9", (10, 8))("fused")
+        solver.run(5)
+        assert solver.time == 5
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            periodic_problem("ST", "D2Q9", (8, 8), 0.8, backend="cuda")
+
+    def test_available_backends_subset(self):
+        avail = available_backends()
+        assert set(avail) <= set(BACKENDS)
+        assert "reference" in avail and "fused" in avail
+        assert ("numba" in avail) == HAS_NUMBA
+
+    def test_reference_backend_needs_no_stepper(self):
+        solver = periodic_problem("ST", "D2Q9", (8, 8), 0.8)
+        assert make_stepper(solver) is None
+
+    def test_physics_subclass_rejected(self):
+        """Subclasses overriding physics must not get the fused kernels."""
+        lat = get_lattice("D2Q9")
+        solver = PowerLawMRPSolver(lat, periodic_box((8, 8)), 0.8,
+                                   consistency=0.05, exponent=0.7)
+        with pytest.raises(ValueError, match="subclass"):
+            make_stepper(solver, "fused")
+
+    def test_forced_solver_rejected(self):
+        solver = periodic_problem("MR-P", "D2Q9", (8, 8), 0.8)
+        solver.force = np.array([1e-5, 0.0])
+        with pytest.raises(ValueError, match="forcing"):
+            make_stepper(solver, "fused")
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba is installed here")
+    def test_numba_missing_raises_at_first_step(self):
+        solver = periodic_problem("ST", "D2Q9", (8, 8), 0.8,
+                                  backend="numba")
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            solver.run(1)
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+class TestNumbaParity:
+    """JIT backend parity — runs only where the optional extra exists."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_taylor_green_periodic(self, scheme):
+        drho, du = run_pair(
+            taylor_green_builder(scheme, "D2Q9", (16, 12)), "numba")
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    def test_boundaries_rejected(self):
+        solver = channel_problem("ST", "D2Q9", (16, 8), backend="numba")
+        with pytest.raises(ValueError, match="periodic"):
+            solver.run(1)

@@ -1,0 +1,90 @@
+"""Unit tests for the precomputed neighbor-index streaming tables."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (NeighborTable, clear_cache, neighbor_table,
+                         stream_gather)
+from repro.core.streaming import stream_push
+from repro.lattice import get_lattice
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def random_field(lat, shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((lat.q, *shape))
+
+
+class TestGatherEquivalence:
+    @pytest.mark.parametrize("lattice_name,shape", [
+        ("D2Q9", (7, 5)),
+        ("D2Q9", (1, 6)),
+        ("D3Q19", (5, 4, 3)),
+        ("D3Q27", (4, 3, 5)),
+    ])
+    def test_matches_stream_push(self, lattice_name, shape):
+        """One np.take gather equals the Q-pass roll streaming, bit for bit."""
+        lat = get_lattice(lattice_name)
+        f = random_field(lat, shape)
+        expected = stream_push(lat, f)
+        got = neighbor_table(lat, shape).gather(f)
+        assert np.array_equal(got, expected)
+
+    def test_stream_gather_convenience(self):
+        lat = get_lattice("D2Q9")
+        f = random_field(lat, (6, 4), seed=1)
+        assert np.array_equal(stream_gather(lat, f), stream_push(lat, f))
+
+    def test_gather_into_preallocated_out(self):
+        lat = get_lattice("D2Q9")
+        f = random_field(lat, (5, 5), seed=2)
+        out = np.empty_like(f)
+        result = neighbor_table(lat, (5, 5)).gather(f, out=out)
+        assert result is out
+        assert np.array_equal(out, stream_push(lat, f))
+
+    def test_gather_is_a_permutation(self):
+        """Every (component, node) slot is read exactly once."""
+        lat = get_lattice("D2Q9")
+        table = neighbor_table(lat, (4, 3))
+        assert sorted(table.flat.tolist()) == list(range(lat.q * 12))
+
+
+class TestAliasingGuard:
+    def test_gather_rejects_out_is_f(self):
+        lat = get_lattice("D2Q9")
+        f = random_field(lat, (4, 4))
+        with pytest.raises(ValueError, match="alias"):
+            neighbor_table(lat, (4, 4)).gather(f, out=f)
+
+    def test_gather_rejects_overlapping_view(self):
+        lat = get_lattice("D2Q9")
+        buf = np.zeros((2 * lat.q, 4, 4))
+        f = buf[: lat.q]
+        overlapping = buf[lat.q - 1: 2 * lat.q - 1]
+        with pytest.raises(ValueError, match="alias"):
+            neighbor_table(lat, (4, 4)).gather(f, out=overlapping)
+
+
+class TestCacheAndValidation:
+    def test_cache_returns_same_object(self):
+        lat = get_lattice("D2Q9")
+        assert neighbor_table(lat, (6, 6)) is neighbor_table(lat, (6, 6))
+
+    def test_cache_keyed_by_lattice_and_shape(self):
+        d2q9 = get_lattice("D2Q9")
+        a = neighbor_table(d2q9, (6, 6))
+        assert neighbor_table(d2q9, (6, 7)) is not a
+        clear_cache()
+        assert neighbor_table(d2q9, (6, 6)) is not a
+
+    def test_shape_dimension_mismatch_raises(self):
+        lat = get_lattice("D3Q19")
+        with pytest.raises(ValueError, match="dimension"):
+            NeighborTable(lat, (6, 6))

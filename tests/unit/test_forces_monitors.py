@@ -136,3 +136,57 @@ class TestMonitors:
         # The moving lid drags the fluid +x; reaction force on the walls
         # is the fluid's momentum sink — nonzero once flow develops.
         assert np.abs(fm.values[-1]).max() > 0
+
+
+class TestEndOfRunFlush:
+    """Runs whose length is not a multiple of ``every`` keep the end state."""
+
+    def _tg_solver(self):
+        shape, tau = (16, 16), 0.8
+        rho0, u0 = taylor_green_fields(shape, 0.0, 0.1, 0.03)
+        return periodic_problem("MR-P", "D2Q9", shape, tau, rho0=rho0, u0=u0)
+
+    def test_final_state_recorded_off_cadence(self):
+        s = self._tg_solver()
+        em = EnergyMonitor(every=5)
+        s.run(13, callback=em)           # 13 % 5 != 0: previously dropped
+        assert em.times == [5, 10, 13]
+
+    def test_no_duplicate_when_on_cadence(self):
+        s = self._tg_solver()
+        em = EnergyMonitor(every=5)
+        s.run(10, callback=em)
+        assert em.times == [5, 10]
+
+    def test_flush_through_composition(self):
+        s = self._tg_solver()
+        em = EnergyMonitor(every=4)
+        pm = ProbeMonitor((3, 3), every=10)
+        s.run(7, callback=Monitors(em, pm))
+        assert em.times == [4, 7]
+        assert pm.times == [7]
+        _, u = s.macroscopic()
+        assert np.allclose(pm.values[-1], u[:, 3, 3])
+
+    def test_convergence_monitor_flush_no_inf(self):
+        s = periodic_problem("ST", "D2Q9", (8, 8), 0.8)   # rest fluid
+        cm = ConvergenceMonitor(every=5)
+        s.run(13, callback=cm)
+        assert cm.times == [10, 13]
+        assert np.isfinite(cm.series()[1]).all()
+        assert cm.converged
+
+    def test_convergence_flush_before_baseline(self):
+        """Flush with no baseline yet must not record an inf sample."""
+        s = periodic_problem("ST", "D2Q9", (8, 8), 0.8)
+        cm = ConvergenceMonitor(every=50)
+        s.run(3, callback=cm)            # never reaches the cadence
+        assert cm.times == []
+        assert cm.values == []
+
+    def test_plain_callable_callbacks_still_work(self):
+        """run() must not require callbacks to implement flush()."""
+        s = self._tg_solver()
+        seen = []
+        s.run(3, callback=lambda solver: seen.append(solver.time))
+        assert seen == [1, 2, 3]

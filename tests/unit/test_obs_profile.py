@@ -138,3 +138,46 @@ class TestBenchPublish:
         assert tel.gauges["traffic.MR-P.D2Q9.dram_bytes_per_node"] == 96.0
         publish_measurement(__import__("repro.obs", fromlist=["NULL_TELEMETRY"]
                                        ).NULL_TELEMETRY, meas)  # no-op
+
+
+class TestBackendComparison:
+    def test_compare_backends_rows(self):
+        from repro.obs import compare_backends, format_backend_comparison
+
+        result = compare_backends("MR-P", "D2Q9", shape=(20, 14), steps=4)
+        names = [row["backend"] for row in result["backends"]]
+        assert names[0] == "reference" and "fused" in names
+        rows = {row["backend"]: row for row in result["backends"]}
+        assert rows["fused"]["max_abs_diff"] < 1e-13
+        assert rows["reference"]["max_abs_diff"] == 0.0
+        assert all(row["mlups"] > 0 for row in result["backends"])
+        # Each backend carries its own per-phase telemetry breakdown.
+        assert "step" in rows["fused"]["phases"]
+        text = format_backend_comparison(result)
+        assert "speedup" in text and "fused" in text
+        json.dumps(result["backends"][0]["phases"])   # serializable
+
+    def test_profile_accel_flag(self, capsys):
+        rc = main(["profile", "--scheme", "MR-P", "--lattice", "D2Q9",
+                   "--shape", "24,14", "--steps", "4", "--accel", "fused"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend = fused" in out
+
+    def test_profile_compare_mode(self, capsys):
+        rc = main(["profile", "--shape", "20,12", "--steps", "3",
+                   "--accel", "compare"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_run_accel_flag(self, capsys):
+        rc = main(["run", "--scheme", "MR-P", "--shape", "20,12",
+                   "--steps", "6", "--accel", "fused"])
+        assert rc == 0
+        assert "accel = fused" in capsys.readouterr().out
+
+    def test_run_distributed_rejects_numba(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheme", "ST", "--shape", "24,10", "--steps", "2",
+                  "--ranks", "2", "--accel", "numba"])

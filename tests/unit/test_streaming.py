@@ -84,3 +84,30 @@ class TestPullForms:
 
 def test_streaming_offsets_alias(lattice):
     assert streaming_offsets(lattice) is lattice.c
+
+
+class TestInPlaceGuard:
+    def test_out_is_f_raises(self, lattice, rng):
+        """In-place streaming silently corrupted data; now it raises."""
+        import pytest
+
+        grid = (4,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        with pytest.raises(ValueError, match="in place"):
+            stream_push(lattice, f, out=f)
+
+    def test_overlapping_view_raises(self, lattice, rng):
+        import pytest
+
+        grid = (4,) * lattice.d
+        buf = rng.standard_normal((lattice.q + 1, *grid))
+        f = buf[: lattice.q]
+        shifted = buf[1:]
+        with pytest.raises(ValueError, match="in place"):
+            stream_push(lattice, f, out=shifted)
+
+    def test_distinct_out_still_accepted(self, lattice, rng):
+        grid = (4,) * lattice.d
+        f = rng.standard_normal((lattice.q, *grid))
+        out = np.empty_like(f)
+        assert stream_push(lattice, f, out=out) is out
