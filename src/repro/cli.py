@@ -20,6 +20,13 @@ cleanly on NaN/Inf/over-speed divergence sampled every N steps.
 ``--ranks N`` decomposes the domain into N streamwise slabs and
 ``--backend {emulated,process}`` picks between the sequential in-process
 emulation and the real multiprocess shared-memory runtime.
+
+The process backend is fault tolerant: ``--checkpoint-dir DIR
+--checkpoint-every N`` writes coordinated distributed checkpoints,
+``--resume DIR`` continues a checkpointed run bit-exactly (the rank
+count may differ from the writing run), ``--max-restarts K`` retries a
+failed cohort from the last checkpoint, and ``--watchdog N`` runs the
+divergence check inside every rank.
 """
 
 from __future__ import annotations
@@ -57,7 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="distributed backend: 'emulated' steps every rank "
                      "sequentially in-process, 'process' runs each rank as "
                      "a real OS process over shared memory (default: "
-                     "'emulated' when --ranks > 1)")
+                     "'emulated' when --ranks > 1, 'process' when "
+                     "checkpoint/resume flags are given)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="write coordinated distributed checkpoints into "
+                     "DIR (process backend; see docs/PARALLEL.md)")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="checkpoint cadence in steps (0 = off)")
+    run.add_argument("--resume", default=None, metavar="DIR",
+                     help="resume from the newest complete checkpoint in "
+                     "DIR (or from DIR itself if it is a step directory); "
+                     "--steps is the TOTAL trajectory length")
+    run.add_argument("--max-restarts", type=int, default=0, metavar="K",
+                     help="retry a failed cohort up to K times from the "
+                     "last checkpoint (process backend)")
     run.add_argument("--output", default=None, help="write final fields to .npz/.vtk")
     run.add_argument("--report-interval", type=int, default=200)
     run.add_argument("--metrics", default=None, metavar="PATH",
@@ -136,10 +156,18 @@ def _distributed_spec(args, shape):
         raise SystemExit(
             "--accel numba is single-domain only; distributed runs "
             "support --accel reference or fused")
+    fault_tolerance = {
+        "checkpoint_dir": args.checkpoint_dir,
+        "checkpoint_every": args.checkpoint_every,
+        "resume_from": args.resume,
+        "max_restarts": args.max_restarts,
+        "watchdog_every": args.watchdog,
+    }
     if args.problem == "channel":
         return RunSpec("channel", args.scheme, args.lattice, shape,
                        args.ranks, tau=args.tau, accel=accel,
-                       options={"u_max": args.u_max, "bc_method": "nebb"})
+                       options={"u_max": args.u_max, "bc_method": "nebb"},
+                       **fault_tolerance)
     if len(shape) != 2:
         raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
     from .validation import taylor_green_fields
@@ -148,20 +176,29 @@ def _distributed_spec(args, shape):
     rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
     return RunSpec("periodic", args.scheme, args.lattice, shape, args.ranks,
                    tau=args.tau, accel=accel,
-                   options={"rho0": rho0, "u0": u0})
+                   options={"rho0": rho0, "u0": u0},
+                   **fault_tolerance)
 
 
 def _cmd_run_distributed(args: argparse.Namespace) -> int:
     """Handle ``mrlbm run --ranks N [--backend {emulated,process}]``."""
     from .parallel import ParallelRuntimeError, run_process
 
-    backend = args.backend or "emulated"
+    wants_fault_tolerance = bool(args.resume or args.checkpoint_dir
+                                 or args.max_restarts)
+    backend = args.backend or ("process" if wants_fault_tolerance
+                               else "emulated")
+    if wants_fault_tolerance and backend != "process":
+        raise SystemExit("--checkpoint-dir/--resume/--max-restarts need "
+                         "--backend process")
     shape = tuple(int(s) for s in args.shape.split(","))
     spec = _distributed_spec(args, shape)
-    for flag in ("trace", "watchdog"):
-        if getattr(args, flag, None):
-            print(f"note: --{flag} applies to single-domain runs only; "
-                  "ignored for distributed backends", file=sys.stderr)
+    if getattr(args, "trace", None):
+        print("note: --trace applies to single-domain runs only; "
+              "ignored for distributed backends", file=sys.stderr)
+    if args.watchdog and backend != "process":
+        print("note: --watchdog on distributed runs needs the process "
+              "backend; ignored", file=sys.stderr)
 
     solver = spec.build()
     n_fluid = solver.global_domain.n_fluid
@@ -178,14 +215,24 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
         except ParallelRuntimeError as err:
             print(f"ABORTED: {err}", file=sys.stderr)
             return 2
+        except (FileNotFoundError, ValueError) as err:
+            # bad --resume target or incompatible checkpoint manifest
+            print(f"ERROR: {err}", file=sys.stderr)
+            return 2
         rho, u = result.rho, result.u
         comm, report = result.comm, result.report
         wall = result.wall_s
+        if result.start_step:
+            print(f"  resumed from checkpoint at step {result.start_step} "
+                  f"({args.steps - result.start_step} steps run)")
+        if result.restarts:
+            print(f"  recovered after {result.restarts} restart(s) "
+                  f"from the last checkpoint")
         for entry in report["mlups_per_rank"]:
             print(f"  rank {entry['rank']}: {entry['n_fluid']:,} fluid "
                   f"nodes, {entry['mlups']:.2f} MLUPS")
         print(f"  cohort: {report['mlups']:.2f} MLUPS "
-              f"(slowest-rank pace over {args.steps} steps)")
+              f"(slowest-rank pace over {report['steps']} steps)")
     else:
         solver.run(args.steps)
         wall = time.perf_counter() - t0
@@ -240,7 +287,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .solver import channel_problem, periodic_problem
     from .validation import taylor_green_fields
 
-    if args.ranks > 1 or args.backend is not None:
+    if (args.ranks > 1 or args.backend is not None or args.resume
+            or args.checkpoint_dir or args.max_restarts):
         return _cmd_run_distributed(args)
 
     shape = tuple(int(s) for s in args.shape.split(","))

@@ -12,7 +12,20 @@ from ..obs.manifest import (
     manifest_path_for,
     write_manifest,
 )
-from .checkpoint import restore_checkpoint, save_checkpoint
+from .checkpoint import (
+    assemble_global_field,
+    checkpoint_step,
+    checkpoint_step_dir,
+    latest_checkpoint,
+    load_distributed_checkpoint,
+    load_rank_slab,
+    prune_checkpoints,
+    reshard_field,
+    restore_checkpoint,
+    save_checkpoint,
+    save_rank_slab,
+    validate_checkpoint_manifest,
+)
 from .snapshots import load_fields, save_fields, write_vtk
 
 __all__ = [
@@ -21,6 +34,16 @@ __all__ = [
     "write_vtk",
     "save_checkpoint",
     "restore_checkpoint",
+    "checkpoint_step_dir",
+    "checkpoint_step",
+    "save_rank_slab",
+    "load_rank_slab",
+    "latest_checkpoint",
+    "prune_checkpoints",
+    "load_distributed_checkpoint",
+    "assemble_global_field",
+    "reshard_field",
+    "validate_checkpoint_manifest",
     "RunManifest",
     "write_manifest",
     "load_manifest",

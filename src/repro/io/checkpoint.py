@@ -1,20 +1,65 @@
-"""Checkpoint/restore for the reference solvers.
+"""Checkpoint/restore for the reference and distributed solvers.
 
 Checkpoints capture the minimal persistent state of each scheme: the
 current distribution lattice for ST, the moment field for MR-P/MR-R —
 which is itself a nice demonstration of the paper's compression claim
 (an MR checkpoint of the same simulation is ``M/Q`` the size).
+
+Single-domain checkpoints (:func:`save_checkpoint` /
+:func:`restore_checkpoint`) are one ``.npz`` per run. Distributed runs
+use a *per-run checkpoint directory* instead, written cooperatively by
+the worker ranks of :mod:`repro.parallel.runtime` at barrier-aligned
+steps::
+
+    ckpt/
+      step-00000040/
+        rank0000.npz        # one interior slab per rank (f or m payload)
+        rank0001.npz
+        manifest.json       # RunManifest: scheme/lattice/shape/tau/step
+        COMPLETE            # written last, by rank 0, after a barrier
+
+A step directory without its ``COMPLETE`` marker is a torn checkpoint
+(a rank died mid-write) and is never resumed from. Rank files hold the
+*interior* planes only — ghost planes are reconstructed from the global
+field on restore, and are overwritten by the first halo exchange of the
+resumed run before any kernel reads them, so restarts are bit-exact for
+any rank count: :func:`assemble_global_field` tiles the saved interiors
+back into the global ``(C, *shape)`` array and :func:`reshard_field`
+cuts it into the (possibly different) new decomposition's slabs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
 from pathlib import Path
 
 import numpy as np
 
 from ..solver import MRPSolver, MRRSolver, Solver, STSolver
 
-__all__ = ["save_checkpoint", "restore_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "restore_checkpoint",
+    "checkpoint_step_dir",
+    "checkpoint_step",
+    "save_rank_slab",
+    "load_rank_slab",
+    "mark_checkpoint_complete",
+    "is_checkpoint_complete",
+    "latest_checkpoint",
+    "prune_checkpoints",
+    "load_manifest_for_resume",
+    "load_distributed_checkpoint",
+    "assemble_global_field",
+    "reshard_field",
+    "validate_checkpoint_manifest",
+]
+
+#: Marker file whose presence declares a step directory fully written.
+COMPLETE_MARKER = "COMPLETE"
+_STEP_PREFIX = "step-"
 
 
 def save_checkpoint(path: str | Path, solver: Solver,
@@ -70,3 +115,225 @@ def restore_checkpoint(path: str | Path, solver: Solver) -> Solver:
         else:
             solver.m[...] = data["m"]
     return solver
+
+
+# -- distributed checkpoints ----------------------------------------------
+
+def checkpoint_step_dir(root: str | Path, step: int) -> Path:
+    """Directory of the checkpoint taken after ``step`` steps."""
+    return Path(root) / f"{_STEP_PREFIX}{int(step):08d}"
+
+
+def checkpoint_step(step_dir: str | Path) -> int:
+    """Step number encoded in a checkpoint step directory's name."""
+    name = Path(step_dir).name
+    if not name.startswith(_STEP_PREFIX):
+        raise ValueError(f"{name!r} is not a checkpoint step directory")
+    return int(name[len(_STEP_PREFIX):])
+
+
+def save_rank_slab(step_dir: str | Path, rank: int, field: np.ndarray, *,
+                   start: int, stop: int, step: int, scheme: str,
+                   lattice: str) -> Path:
+    """Atomically write one rank's interior slab into a step directory.
+
+    ``field`` is the rank's ``(C, width, *rest)`` interior payload
+    (populations for ST, moments for MR); ``[start, stop)`` are its
+    global axis-0 bounds. Write-to-temp + ``os.replace`` keeps a crash
+    mid-write from leaving a plausible-looking but torn rank file.
+    """
+    step_dir = Path(step_dir)
+    step_dir.mkdir(parents=True, exist_ok=True)
+    final = step_dir / f"rank{rank:04d}.npz"
+    tmp = step_dir / f".rank{rank:04d}.tmp.npz"
+    np.savez_compressed(
+        tmp, field=field, start=np.asarray(start), stop=np.asarray(stop),
+        rank=np.asarray(rank), step=np.asarray(step),
+        scheme=np.asarray(scheme), lattice=np.asarray(lattice))
+    os.replace(tmp, final)
+    return final
+
+
+def load_rank_slab(path: str | Path) -> dict:
+    """Load one rank slab file back into a plain dict."""
+    with np.load(Path(path)) as data:
+        return {
+            "field": np.array(data["field"]),
+            "start": int(data["start"]),
+            "stop": int(data["stop"]),
+            "rank": int(data["rank"]),
+            "step": int(data["step"]),
+            "scheme": str(data["scheme"]),
+            "lattice": str(data["lattice"]),
+        }
+
+
+def mark_checkpoint_complete(step_dir: str | Path) -> Path:
+    """Drop the ``COMPLETE`` marker declaring a step directory usable."""
+    marker = Path(step_dir) / COMPLETE_MARKER
+    marker.write_text("ok\n", encoding="utf-8")
+    return marker
+
+
+def is_checkpoint_complete(step_dir: str | Path) -> bool:
+    """Whether a step directory carries its ``COMPLETE`` marker."""
+    return (Path(step_dir) / COMPLETE_MARKER).is_file()
+
+
+def _step_dirs(root: Path) -> list[Path]:
+    """Checkpoint step directories under ``root``, oldest first."""
+    if not root.is_dir():
+        return []
+    out = []
+    for entry in root.iterdir():
+        if entry.is_dir() and entry.name.startswith(_STEP_PREFIX):
+            try:
+                checkpoint_step(entry)
+            except ValueError:
+                continue
+            out.append(entry)
+    return sorted(out, key=checkpoint_step)
+
+
+def latest_checkpoint(root: str | Path) -> Path | None:
+    """Newest *complete* step directory under a checkpoint root.
+
+    ``root`` may also be a step directory itself (it is returned when
+    complete) — so CLI users can pass either the run's checkpoint
+    directory or one specific snapshot. Torn (marker-less) directories
+    are skipped; returns ``None`` when nothing usable exists.
+    """
+    root = Path(root)
+    if root.name.startswith(_STEP_PREFIX) and root.is_dir():
+        return root if is_checkpoint_complete(root) else None
+    for step_dir in reversed(_step_dirs(root)):
+        if is_checkpoint_complete(step_dir):
+            return step_dir
+    return None
+
+
+def prune_checkpoints(root: str | Path, keep: int = 2) -> list[Path]:
+    """Delete all but the newest ``keep`` complete step directories.
+
+    Torn directories older than the newest complete one are deleted too
+    (they can never be resumed from). Returns the removed paths.
+    """
+    complete = [d for d in _step_dirs(Path(root)) if is_checkpoint_complete(d)]
+    survivors = {d.name for d in complete[-max(int(keep), 1):]}
+    newest = checkpoint_step(complete[-1]) if complete else -1
+    removed = []
+    for step_dir in _step_dirs(Path(root)):
+        torn = not is_checkpoint_complete(step_dir)
+        if step_dir.name in survivors or (torn and
+                                          checkpoint_step(step_dir) >= newest):
+            continue
+        shutil.rmtree(step_dir, ignore_errors=True)
+        removed.append(step_dir)
+    return removed
+
+
+def load_manifest_for_resume(step_dir: str | Path) -> dict:
+    """Read just the manifest dict of a complete step directory.
+
+    The cheap validation path: the parent checks compatibility from the
+    manifest alone and leaves loading the (much larger) rank slabs to
+    the worker processes.
+    """
+    step_dir = Path(step_dir)
+    if not is_checkpoint_complete(step_dir):
+        raise FileNotFoundError(
+            f"{step_dir} is not a complete checkpoint (no "
+            f"{COMPLETE_MARKER} marker)")
+    return json.loads((step_dir / "manifest.json").read_text(encoding="utf-8"))
+
+
+def load_distributed_checkpoint(step_dir: str | Path) -> tuple[dict, list[dict]]:
+    """Load a complete step directory: ``(manifest dict, rank slabs)``.
+
+    Raises ``FileNotFoundError`` for a missing/torn directory and
+    ``ValueError`` when the rank files do not tile the global domain.
+    """
+    step_dir = Path(step_dir)
+    if not is_checkpoint_complete(step_dir):
+        raise FileNotFoundError(
+            f"{step_dir} is not a complete checkpoint (no "
+            f"{COMPLETE_MARKER} marker; the writing run may have died "
+            "mid-checkpoint)")
+    manifest = json.loads(
+        (step_dir / "manifest.json").read_text(encoding="utf-8"))
+    slabs = [load_rank_slab(p) for p in sorted(step_dir.glob("rank*.npz"))]
+    if not slabs:
+        raise ValueError(f"{step_dir} holds no rank slab files")
+    slabs.sort(key=lambda s: s["rank"])
+    stop = 0
+    for s in slabs:
+        if s["start"] != stop:
+            raise ValueError(
+                f"rank files in {step_dir} do not tile the domain: rank "
+                f"{s['rank']} starts at {s['start']}, expected {stop}")
+        stop = s["stop"]
+    return manifest, slabs
+
+
+def assemble_global_field(slabs: list[dict],
+                          global_shape: tuple[int, ...]) -> np.ndarray:
+    """Tile per-rank interior slabs back into the global ``(C, *shape)``."""
+    c = slabs[0]["field"].shape[0]
+    out = np.empty((c, *global_shape), dtype=np.float64)
+    for s in slabs:
+        out[:, s["start"]:s["stop"]] = s["field"]
+    if slabs[-1]["stop"] != global_shape[0]:
+        raise ValueError(
+            f"rank files cover axis 0 up to {slabs[-1]['stop']}, global "
+            f"extent is {global_shape[0]}")
+    return out
+
+
+def reshard_field(global_field: np.ndarray, decomp, rank: int) -> np.ndarray:
+    """Cut one rank's slab (ghost planes included) out of a global field.
+
+    ``decomp`` is a :class:`~repro.parallel.decomposition.SlabDecomposition`
+    of the *resumed* run — it need not match the decomposition that wrote
+    the checkpoint. Ghost planes are filled with the neighbours' edge
+    values under periodic wrap; they are overwritten by the first halo
+    exchange, but starting finite keeps watchdogs and diagnostics sane.
+    """
+    nx = global_field.shape[1]
+    start, stop = decomp.bounds(rank)
+    gl = 1 if decomp.has_left(rank) else 0
+    gr = 1 if decomp.has_right(rank) else 0
+    gsl = [(start - gl + k) % nx for k in range(stop - start + gl + gr)]
+    return global_field[:, gsl].copy()
+
+
+def validate_checkpoint_manifest(manifest: dict, *, scheme: str, lattice: str,
+                                 shape: tuple[int, ...], tau: float,
+                                 fingerprint: str | None = None) -> None:
+    """Check a checkpoint manifest against the run that wants to resume it.
+
+    Lattice, global shape, scheme and tau must match exactly (they
+    change the trajectory); the rank count may differ (the field is
+    re-sharded). A mismatched problem ``fingerprint`` — covering the
+    problem kind and preset options — is also rejected.
+    """
+    problems = []
+    if manifest.get("scheme") != scheme:
+        problems.append(
+            f"scheme: checkpoint {manifest.get('scheme')!r} != run {scheme!r}")
+    if manifest.get("lattice") != lattice:
+        problems.append(f"lattice: checkpoint {manifest.get('lattice')!r} "
+                        f"!= run {lattice!r}")
+    if tuple(manifest.get("shape", ())) != tuple(shape):
+        problems.append(f"shape: checkpoint {tuple(manifest.get('shape', ()))}"
+                        f" != run {tuple(shape)}")
+    if manifest.get("tau") is not None and \
+            float(manifest["tau"]) != float(tau):
+        problems.append(f"tau: checkpoint {manifest['tau']} != run {tau}")
+    saved_fp = manifest.get("extra", {}).get("fingerprint")
+    if fingerprint is not None and saved_fp is not None \
+            and saved_fp != fingerprint:
+        problems.append("problem fingerprint differs (kind/options changed "
+                        "since the checkpoint was written)")
+    if problems:
+        raise ValueError("checkpoint is incompatible with this run:\n  "
+                         + "\n  ".join(problems))

@@ -28,7 +28,7 @@ from .profile import (PROFILE_SCHEMES, compare_backends,
                       format_backend_comparison, format_profile,
                       profile_scheme)
 from .telemetry import NULL_TELEMETRY, NullTelemetry, PhaseStats, Span, Telemetry
-from .watchdog import SOUND_SPEED, StabilityError, StabilityWatchdog
+from .watchdog import SOUND_SPEED, StabilityError, StabilityWatchdog, check_fields
 
 __all__ = [
     "Telemetry",
@@ -47,6 +47,7 @@ __all__ = [
     "StabilityWatchdog",
     "StabilityError",
     "SOUND_SPEED",
+    "check_fields",
     "profile_scheme",
     "format_profile",
     "compare_backends",

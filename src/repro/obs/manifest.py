@@ -71,6 +71,30 @@ class RunManifest:
             extra=dict(extra),
         )
 
+    @classmethod
+    def from_run_spec(cls, spec, step: int, **extra) -> "RunManifest":
+        """Build a manifest straight from a distributed ``RunSpec``.
+
+        Used by the checkpoint writer of the multiprocess runtime: the
+        spec alone (no RNG, no live solver) determines the problem, so a
+        resumed run can rebuild and validate against this manifest.
+        ``extra`` entries (problem kind, rank count, fingerprint, ...)
+        land in :attr:`extra`.
+        """
+        from .. import __version__
+
+        return cls(
+            scheme=spec.scheme,
+            lattice=spec.lattice,
+            shape=tuple(spec.shape),
+            tau=float(spec.tau),
+            steps=int(step),
+            version=__version__,
+            platform=_platform_info(),
+            created_unix=time.time(),
+            extra=dict(extra),
+        )
+
     def to_dict(self) -> dict:
         """JSON-serializable form (tuples become lists)."""
         d = asdict(self)

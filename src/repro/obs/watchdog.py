@@ -23,10 +23,65 @@ import numpy as np
 
 from .telemetry import NULL_TELEMETRY
 
-__all__ = ["StabilityWatchdog", "StabilityError", "SOUND_SPEED"]
+__all__ = ["StabilityWatchdog", "StabilityError", "SOUND_SPEED",
+           "check_fields"]
 
 #: Lattice sound speed in lattice units (all paper lattices share it).
 SOUND_SPEED = 1.0 / math.sqrt(3.0)
+
+
+def check_fields(rho: np.ndarray, u: np.ndarray,
+                 fluid_mask: np.ndarray | None = None, *,
+                 u_limit: float | None = None, rho_min: float = 0.0,
+                 context: dict | None = None) -> dict:
+    """Divergence check on bare ``(rho, u)`` arrays; no solver needed.
+
+    The workhorse behind :meth:`StabilityWatchdog.check`, exposed
+    separately so contexts without a solver object — the per-rank
+    watchdog of the multiprocess runtime checks its slab fields directly
+    — share the same detection rules and report schema. ``context``
+    entries (e.g. ``step``, ``scheme``, ``rank``) are folded into the
+    report. Raises :class:`StabilityError` on divergence, otherwise
+    returns the healthy report.
+    """
+    u_limit = float(u_limit) if u_limit is not None else SOUND_SPEED
+    rho_f = rho[fluid_mask] if fluid_mask is not None else rho.ravel()
+    u_f = (u[:, fluid_mask] if fluid_mask is not None
+           else u.reshape(u.shape[0], -1))
+    with np.errstate(invalid="ignore", over="ignore"):
+        speed2 = np.einsum("an,an->n", u_f, u_f)
+    finite_rho = np.isfinite(rho_f)
+    finite_u = np.isfinite(speed2)
+    n_nonfinite_rho = int((~finite_rho).sum())
+    n_nonfinite_u = int((~finite_u).sum())
+    n_nonpositive = int((rho_f[finite_rho] <= rho_min).sum())
+    speed_ok = speed2[finite_u]
+    max_speed = float(np.sqrt(speed_ok.max())) if speed_ok.size else 0.0
+    n_super = int((speed_ok > u_limit ** 2).sum())
+    min_rho = (float(rho_f[finite_rho].min())
+               if finite_rho.any() else float("nan"))
+
+    report = {
+        **(context or {}),
+        "n_fluid": int(rho_f.size),
+        "nonfinite_rho": n_nonfinite_rho,
+        "nonfinite_u": n_nonfinite_u,
+        "nonpositive_rho": n_nonpositive,
+        "supersonic": n_super,
+        "max_speed": max_speed,
+        "min_density": min_rho,
+        "u_limit": u_limit,
+    }
+    if n_nonfinite_rho or n_nonfinite_u or n_nonpositive or n_super:
+        where = " ".join(f"{k}={v}" for k, v in (context or {}).items())
+        raise StabilityError(
+            f"fields diverged ({where}): "
+            f"{n_nonfinite_rho + n_nonfinite_u} non-finite, "
+            f"{n_nonpositive} non-positive-density, {n_super} over-speed "
+            f"(> {u_limit:.3f}) fluid nodes (max |u| = {max_speed:.3g})",
+            report,
+        )
+    return report
 
 
 class StabilityError(RuntimeError):
@@ -71,54 +126,39 @@ class StabilityWatchdog:
     def check(self, solver) -> dict:
         """Inspect the solver now; raises :class:`StabilityError` on
         divergence, otherwise returns the healthy report."""
-        with self.telemetry.phase("watchdog"):
-            rho, u = solver.macroscopic()
-            mask = solver.domain.fluid_mask
-            rho_f = rho[mask]
-            u_f = u[:, mask]
-            with np.errstate(invalid="ignore", over="ignore"):
-                speed2 = np.einsum("an,an->n", u_f, u_f)
-            finite_rho = np.isfinite(rho_f)
-            finite_u = np.isfinite(speed2)
-            n_nonfinite_rho = int((~finite_rho).sum())
-            n_nonfinite_u = int((~finite_u).sum())
-            n_nonpositive = int((rho_f[finite_rho] <= self.rho_min).sum())
-            speed_ok = speed2[finite_u]
-            max_speed = float(np.sqrt(speed_ok.max())) if speed_ok.size else 0.0
-            n_super = int((speed_ok > self.u_limit ** 2).sum())
-            min_rho = (float(rho_f[finite_rho].min())
-                       if finite_rho.any() else float("nan"))
-
-        report = {
+        context = {
             "step": int(solver.time),
             "scheme": solver.name,
             "lattice": solver.lat.name,
             "shape": list(solver.domain.shape),
-            "n_fluid": int(mask.sum()),
-            "nonfinite_rho": n_nonfinite_rho,
-            "nonfinite_u": n_nonfinite_u,
-            "nonpositive_rho": n_nonpositive,
-            "supersonic": n_super,
-            "max_speed": max_speed,
-            "min_density": min_rho,
-            "u_limit": self.u_limit,
         }
+        with self.telemetry.phase("watchdog"):
+            rho, u = solver.macroscopic()
+            try:
+                report = check_fields(rho, u, solver.domain.fluid_mask,
+                                      u_limit=self.u_limit,
+                                      rho_min=self.rho_min, context=context)
+                failure = None
+            except StabilityError as err:
+                report, failure = err.report, err
+
         self.last_report = report
         tel = self.telemetry
         tel.count("watchdog.checks")
-        tel.gauge("watchdog.max_speed", max_speed)
-        if math.isfinite(min_rho):
-            tel.gauge("watchdog.min_density", min_rho)
+        tel.gauge("watchdog.max_speed", report["max_speed"])
+        if math.isfinite(report["min_density"]):
+            tel.gauge("watchdog.min_density", report["min_density"])
 
-        bad = (n_nonfinite_rho or n_nonfinite_u or n_nonpositive or n_super)
-        if bad:
+        if failure is not None:
             tel.count("watchdog.aborts")
             raise StabilityError(
                 f"{solver.name}/{solver.lat.name} diverged at step "
-                f"{solver.time}: {n_nonfinite_rho + n_nonfinite_u} non-finite, "
-                f"{n_nonpositive} non-positive-density, {n_super} "
+                f"{solver.time}: "
+                f"{report['nonfinite_rho'] + report['nonfinite_u']} "
+                f"non-finite, {report['nonpositive_rho']} "
+                f"non-positive-density, {report['supersonic']} "
                 f"over-speed (> {self.u_limit:.3f}) fluid nodes "
-                f"(max |u| = {max_speed:.3g})",
+                f"(max |u| = {report['max_speed']:.3g})",
                 report,
             )
         return report

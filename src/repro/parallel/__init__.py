@@ -9,6 +9,13 @@ protocol (see ``docs/PARALLEL.md``):
 * **process** — every rank a real OS process over
   ``multiprocessing.shared_memory`` with barrier-synchronized halo
   exchanges (:func:`run_process` / :class:`ProcessRuntime`).
+
+The process backend is fault tolerant: cohorts write coordinated
+distributed checkpoints, restart from them (``RunSpec.resume_from`` /
+``mrlbm run --resume``, including with a different rank count), and the
+supervisor retries failed cohorts from the last checkpoint. Faults for
+testing the machinery are injected deterministically via
+:class:`FaultSpec` (see :mod:`repro.parallel.faults`).
 """
 
 from .decomposition import (
@@ -18,6 +25,7 @@ from .decomposition import (
     DistributedST,
     SlabDecomposition,
 )
+from .faults import FAULT_KINDS, FaultInjected, FaultSpec, normalize_fault
 from .presets import distributed_channel_problem, distributed_periodic_problem
 from .runtime import (
     ParallelRuntimeError,
@@ -42,4 +50,8 @@ __all__ = [
     "run_process",
     "ParallelRuntimeError",
     "WorkerFailure",
+    "FaultSpec",
+    "FaultInjected",
+    "FAULT_KINDS",
+    "normalize_fault",
 ]

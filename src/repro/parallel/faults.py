@@ -1,0 +1,141 @@
+"""Deterministic fault injection for the multiprocess slab runtime.
+
+Fault tolerance that is only exercised by real hardware failures is
+fault tolerance that has never been tested. This module gives the
+runtime (and, more importantly, its test suite) a precise way to break a
+distributed run on purpose: a :class:`FaultSpec` names a rank, a step
+and a failure mode, and :func:`maybe_inject` — called by the worker at
+the top of every step — makes exactly that failure happen:
+
+``"exception"``
+    Raise :class:`FaultInjected` inside the worker. The normal error
+    path runs: the worker posts a structured failure record and aborts
+    the barrier so siblings unwind.
+``"kill"``
+    Hard-exit the process (``os._exit``) without any cleanup — the
+    worker never posts a record and never aborts the barrier, modelling
+    a segfault/OOM-kill. Siblings discover the death through the
+    barrier timeout; the parent through the dead process.
+``"hang"``
+    Sleep far past the barrier timeout, modelling a livelock or a stuck
+    I/O. Siblings time out at the barrier; the parent terminates the
+    hung process after its straggler grace period.
+``"corrupt"``
+    Overwrite part of the rank's slab field with NaN and keep running,
+    modelling silent memory corruption. Detection is the job of the
+    per-rank watchdog (``RunSpec.watchdog_every``).
+
+By default a fault fires on attempt 0 only (``attempt=0``), so a
+supervised retry (``ProcessRuntime.run(..., max_restarts=...)``) can
+demonstrate recovery: the restarted attempt runs clean from the last
+checkpoint. Set ``attempt=None`` to fail on every attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "FaultInjected", "FaultSpec", "normalize_fault",
+           "maybe_inject"]
+
+#: Recognized failure modes, in roughly increasing order of nastiness.
+FAULT_KINDS = ("exception", "kill", "hang", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """The error raised inside a worker by an ``"exception"`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: which rank fails, when, and how.
+
+    Parameters
+    ----------
+    rank:
+        Rank that misbehaves.
+    step:
+        Step index at whose start the fault fires (after the checkpoint
+        scheduled for that step, if any — so a retry from the latest
+        checkpoint replays the faulted step).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    attempt:
+        Restart attempt the fault is armed on (0 = the first run).
+        ``None`` arms it on every attempt, making the failure permanent.
+    hang_s:
+        Sleep duration of a ``"hang"`` fault; anything comfortably past
+        the barrier timeout behaves like forever.
+    exit_code:
+        Process exit code used by a ``"kill"`` fault.
+    """
+
+    rank: int
+    step: int
+    kind: str = "exception"
+    attempt: int | None = 0
+    hang_s: float = 3600.0
+    exit_code: int = 99
+
+    def __post_init__(self) -> None:
+        """Validate the failure mode early, in the parent process."""
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+
+    def armed(self, rank: int, step: int, attempt: int) -> bool:
+        """Whether the fault fires for this (rank, step, attempt)."""
+        if rank != self.rank or step != self.step:
+            return False
+        return self.attempt is None or attempt == self.attempt
+
+
+def normalize_fault(fault) -> FaultSpec | None:
+    """Coerce ``None``, a dict or a :class:`FaultSpec` into a spec.
+
+    Dicts (the pre-fault-harness ``RunSpec.fault`` test hook) map keys
+    straight onto :class:`FaultSpec` fields; missing ``kind`` means
+    ``"exception"`` and a missing ``attempt`` arms every attempt, which
+    matches the old always-on behaviour.
+    """
+    if fault is None or isinstance(fault, FaultSpec):
+        return fault
+    if isinstance(fault, dict):
+        allowed = set(FaultSpec.__dataclass_fields__)
+        spec = dict(fault)
+        spec.setdefault("attempt", None)
+        unknown = set(spec) - allowed
+        if unknown:
+            raise ValueError(f"unknown fault field(s) {sorted(unknown)}")
+        return FaultSpec(**spec)
+    raise TypeError(f"fault must be a FaultSpec, dict or None, "
+                    f"got {type(fault).__name__}")
+
+
+def maybe_inject(fault: FaultSpec | None, rank: int, step: int, attempt: int,
+                 field: np.ndarray | None = None) -> None:
+    """Fire ``fault`` if it is armed for this (rank, step, attempt).
+
+    ``field`` is the rank's slab field array, scribbled on by
+    ``"corrupt"`` faults (ignored by the other kinds).
+    """
+    if fault is None or not fault.armed(rank, step, attempt):
+        return
+    if fault.kind == "exception":
+        raise FaultInjected(
+            f"injected fault on rank {rank} at step {step}")
+    if fault.kind == "kill":
+        # Bypass every Python-level cleanup path on purpose: no error
+        # record, no barrier abort, no shared-memory close.
+        os._exit(fault.exit_code)
+    if fault.kind == "hang":
+        time.sleep(fault.hang_s)
+        return
+    # kind == "corrupt": poison one interior plane and keep going.
+    if field is not None:
+        field[..., field.shape[-1] // 2] = np.nan

@@ -21,7 +21,21 @@ On any worker failure the runtime degrades gracefully instead of
 deadlocking: the failing rank posts a structured
 :class:`WorkerFailure` and aborts the barrier, the surviving ranks
 unwind on ``BrokenBarrierError``, the parent unlinks every shared-memory
-segment and raises :class:`ParallelRuntimeError`.
+segment and raises :class:`ParallelRuntimeError`. Workers that die
+without a trace (SIGKILL, hangs — see :mod:`repro.parallel.faults`) are
+detected through the barrier timeout and the parent's straggler grace
+period, then terminated with SIGTERM→SIGKILL escalation so no zombie or
+``/dev/shm`` segment outlives the run.
+
+On top of that degrade-cleanly baseline sits *supervised recovery*:
+with ``RunSpec.checkpoint_dir``/``checkpoint_every`` set, the worker
+ranks write barrier-aligned distributed checkpoints (see
+:mod:`repro.io.checkpoint`), and ``ProcessRuntime.run(...,
+max_restarts=K)`` restarts a failed cohort from the newest complete
+checkpoint up to ``K`` times with linear backoff — a run killed at an
+arbitrary step finishes with fields bit-identical to an uninterrupted
+one. ``RunSpec.resume_from`` starts a *new* run from a saved
+checkpoint, re-sharding when the rank count changed.
 
 Entry points
 ------------
@@ -37,17 +51,25 @@ Entry points
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import os
 import secrets
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..io.checkpoint import (
+    checkpoint_step,
+    latest_checkpoint,
+    load_manifest_for_resume,
+    validate_checkpoint_manifest,
+)
 from ..obs.merge import merge_rank_reports
 from .decomposition import CommunicationReport, DistributedSolver
+from .faults import FaultSpec, normalize_fault
 from .presets import distributed_channel_problem, distributed_periodic_problem
 
 __all__ = [
@@ -96,9 +118,35 @@ class RunSpec:
         :mod:`repro.accel`); every worker steps its slab through the
         selected kernels.
     fault:
-        Test hook: ``{"rank": r, "step": s}`` makes worker ``r`` raise a
-        ``RuntimeError`` at the start of step ``s``, exercising the
-        failure path (see ``tests/integration/test_process_runtime.py``).
+        Deterministic fault injection: a
+        :class:`~repro.parallel.faults.FaultSpec` (or a plain dict of
+        its fields) makes one rank raise, die, hang or corrupt its slab
+        at a chosen step — the test harness for every failure path (see
+        :mod:`repro.parallel.faults`).
+    checkpoint_dir:
+        Per-run checkpoint directory; workers write barrier-aligned
+        distributed checkpoints here (see :mod:`repro.io.checkpoint`).
+        ``None`` disables checkpointing.
+    checkpoint_every:
+        Checkpoint cadence in steps (0 disables). A snapshot taken "at
+        step s" captures the state after ``s`` completed steps.
+    checkpoint_keep:
+        How many complete checkpoints to retain; older ones are pruned
+        by rank 0 after each new complete snapshot.
+    resume_from:
+        Checkpoint root (or one specific ``step-*`` directory) to resume
+        from: the run continues bit-exactly from the saved step, after
+        manifest validation, re-sharding if ``n_ranks`` differs from the
+        writing run. With ``resume_from`` set, ``run(n_steps)`` treats
+        ``n_steps`` as the *total* step count of the trajectory.
+    max_restarts:
+        Default supervised-retry budget of :meth:`ProcessRuntime.run`:
+        on worker failure the runtime restarts from the newest complete
+        checkpoint up to this many times.
+    watchdog_every:
+        Per-rank stability-watchdog cadence in steps (0 disables): every
+        worker checks its interior slab for NaN/Inf/over-speed nodes and
+        converts silent corruption into a structured failure.
     """
 
     kind: str
@@ -108,8 +156,36 @@ class RunSpec:
     n_ranks: int
     tau: float = 0.8
     options: dict = field(default_factory=dict)
-    fault: dict | None = None
+    fault: FaultSpec | dict | None = None
     accel: str = "reference"
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+    checkpoint_keep: int = 2
+    resume_from: str | None = None
+    max_restarts: int = 0
+    watchdog_every: int = 0
+
+    def fingerprint(self) -> str:
+        """Stable digest of the problem identity (kind + preset options).
+
+        Stored in every checkpoint manifest and compared on resume:
+        scheme/lattice/shape/tau are validated field by field, and this
+        digest extends the check to the preset options (initial fields,
+        forcing, boundary method, ...) that equally shape the
+        trajectory. Array-valued options hash their bytes.
+        """
+        h = hashlib.sha256()
+        h.update(repr((self.kind, self.scheme, self.lattice,
+                       tuple(self.shape), float(self.tau))).encode())
+        for key in sorted(self.options):
+            value = self.options[key]
+            h.update(key.encode())
+            if isinstance(value, np.ndarray):
+                h.update(repr((value.shape, str(value.dtype))).encode())
+                h.update(np.ascontiguousarray(value).tobytes())
+            else:
+                h.update(repr(value).encode())
+        return h.hexdigest()[:16]
 
     def build(self) -> DistributedSolver:
         """Construct the emulated solver this spec describes."""
@@ -132,25 +208,45 @@ class WorkerFailure:
     exc_type: str
     message: str
     traceback: str = ""
+    step: int | None = None
+    attempt: int = 0
 
     def __str__(self) -> str:
         """One-line ``rank N: Type: message`` rendering."""
-        return f"rank {self.rank}: {self.exc_type}: {self.message}"
+        at = f" (step {self.step})" if self.step is not None else ""
+        return f"rank {self.rank}: {self.exc_type}: {self.message}{at}"
 
 
 class ParallelRuntimeError(RuntimeError):
-    """A distributed run failed; carries every rank's failure record."""
+    """A distributed run failed; carries every rank's failure record.
 
-    def __init__(self, failures: list[WorkerFailure]):
+    ``failures`` holds the final attempt's records; ``failure_history``
+    every attempt's (one list per attempt) when supervised retries were
+    in play; ``restarts`` counts the restarts that were tried.
+    """
+
+    def __init__(self, failures: list[WorkerFailure],
+                 failure_history: list[list[WorkerFailure]] | None = None):
         self.failures = failures
+        self.failure_history = (failure_history if failure_history is not None
+                                else [failures])
+        self.restarts = max(len(self.failure_history) - 1, 0)
         lines = "\n  ".join(str(f) for f in failures) or "no failure detail"
+        retried = (f" (after {self.restarts} restart(s))"
+                   if self.restarts else "")
         super().__init__(
-            f"{len(failures)} worker(s) failed:\n  {lines}")
+            f"{len(failures)} worker(s) failed{retried}:\n  {lines}")
 
 
 @dataclass
 class ProcessRunResult:
-    """Outcome of a successful :func:`run_process` call."""
+    """Outcome of a successful :func:`run_process` call.
+
+    ``steps`` is the trajectory's total step count; ``start_step`` the
+    checkpoint step the run was resumed from (0 for a fresh start);
+    ``restarts`` how many supervised restarts recovery needed, with the
+    per-attempt failure records in ``failure_history``.
+    """
 
     rho: np.ndarray
     u: np.ndarray
@@ -160,6 +256,9 @@ class ProcessRunResult:
     steps: int
     n_ranks: int
     wall_s: float
+    start_step: int = 0
+    restarts: int = 0
+    failure_history: list = field(default_factory=list)
 
 
 def attach_shm(name: str) -> shared_memory.SharedMemory:
@@ -246,10 +345,18 @@ class ProcessRuntime:
         Seconds any rank waits at a halo barrier before declaring the
         cohort broken. Guards against deadlock if a sibling dies without
         aborting the barrier.
+    straggler_grace:
+        Seconds the parent lets surviving workers keep running after the
+        first sign of cohort failure (a failure record, or a worker dead
+        without its result) before terminating them — this is what turns
+        a hung rank into a structured error instead of a deadlock.
     """
 
     def __init__(self, spec: RunSpec, start_method: str | None = None,
-                 barrier_timeout: float = 120.0):
+                 barrier_timeout: float = 120.0,
+                 straggler_grace: float = 15.0):
+        # Validate the fault spec eagerly, in the parent.
+        normalize_fault(spec.fault)
         self.spec = spec
         self.solver = spec.build()
         if start_method is None:
@@ -257,6 +364,7 @@ class ProcessRuntime:
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = mp.get_context(start_method)
         self.barrier_timeout = float(barrier_timeout)
+        self.straggler_grace = float(straggler_grace)
         self.plan: ShmPlan | None = None
 
     # -- internals --------------------------------------------------------
@@ -290,36 +398,83 @@ class ProcessRuntime:
             except Exception:
                 pass
 
+    @staticmethod
+    def _drain(errq, resq, results: dict[int, dict],
+               failures: list[WorkerFailure]) -> None:
+        """Pull everything currently buffered on both queues."""
+        for q, is_err in ((errq, True), (resq, False)):
+            while True:
+                try:
+                    item = q.get_nowait()
+                except Exception:
+                    break
+                if is_err:
+                    failures.append(WorkerFailure(**item))
+                else:
+                    results[item["rank"]] = item
+
     def _harvest(self, procs, errq, resq, run_timeout):
-        """Join workers while draining both queues; return (results, failures)."""
+        """Join workers while draining both queues; return (results, failures).
+
+        Cohort-failure detection: the first failure record — or a worker
+        found dead without having posted its result — arms a
+        ``straggler_grace`` countdown; survivors still running when it
+        expires (hung ranks that will never reach another barrier) are
+        terminated, with SIGTERM → SIGKILL escalation and a structured
+        :class:`WorkerFailure` instead of a silently leaked zombie.
+        """
         results: dict[int, dict] = {}
         failures: list[WorkerFailure] = []
         deadline = None if run_timeout is None else time.monotonic() + run_timeout
+        doom_deadline = None
         while True:
-            for q, sink in ((errq, failures), (resq, results)):
-                while True:
-                    try:
-                        item = q.get_nowait()
-                    except Exception:
-                        break
-                    if sink is failures:
-                        failures.append(WorkerFailure(**item))
-                    else:
-                        results[item["rank"]] = item
+            self._drain(errq, resq, results, failures)
             alive = [p for p in procs if p.is_alive()]
             if not alive:
                 break
-            if deadline is not None and time.monotonic() > deadline:
-                for p in alive:
-                    p.terminate()
+            now = time.monotonic()
+            if deadline is not None and now > deadline:
                 failures.append(WorkerFailure(
                     -1, "TimeoutError",
                     f"run exceeded {run_timeout:.0f}s; "
                     f"ranks still alive: {[p.name for p in alive]}"))
                 break
+            # A dead rank that never posted its result can no longer
+            # serve its barrier — the cohort is doomed. (A just-exited
+            # healthy rank's result may still be in flight, so this only
+            # arms a grace countdown; the next drain clears it.)
+            doomed = bool(failures) or any(
+                not p.is_alive() and r not in results
+                for r, p in enumerate(procs))
+            if not doomed:
+                doom_deadline = None
+            elif doom_deadline is None:
+                doom_deadline = now + self.straggler_grace
+            elif now > doom_deadline:
+                for r, p in enumerate(procs):
+                    if p.is_alive():
+                        failures.append(WorkerFailure(
+                            r, "Straggler",
+                            f"rank still running {self.straggler_grace:.0f}s "
+                            "after the cohort failed (hung or deadlocked); "
+                            "terminating"))
+                break
             alive[0].join(timeout=0.02)
         for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for r, p in enumerate(procs):
             p.join(timeout=5.0)
+            if p.is_alive():
+                # terminate() was ignored (e.g. a worker stuck in
+                # uninterruptible state): escalate rather than leak.
+                p.kill()
+                p.join(timeout=5.0)
+                failures.append(WorkerFailure(
+                    r, "ZombieKilled",
+                    "worker ignored SIGTERM for 5s after the run ended; "
+                    "escalated to SIGKILL"))
+        self._drain(errq, resq, results, failures)
         for r, p in enumerate(procs):
             if p.exitcode not in (0, None) and not any(
                     f.rank == r for f in failures):
@@ -328,15 +483,106 @@ class ProcessRuntime:
                     "without reporting a failure"))
         return results, failures
 
+    def _resolve_resume(self, where: str, n_steps: int) -> tuple[str, int]:
+        """Locate and validate a checkpoint to resume from.
+
+        Returns ``(step_dir, start_step)``; raises ``FileNotFoundError``
+        when no complete checkpoint exists under ``where`` and
+        ``ValueError`` when the manifest is incompatible with this spec
+        or the checkpoint already reached ``n_steps``.
+        """
+        spec = self.spec
+        found = latest_checkpoint(where)
+        if found is None:
+            raise FileNotFoundError(
+                f"no complete checkpoint under {where!r} to resume from")
+        manifest = load_manifest_for_resume(found)
+        validate_checkpoint_manifest(
+            manifest, scheme=spec.scheme, lattice=spec.lattice,
+            shape=tuple(spec.shape), tau=spec.tau,
+            fingerprint=spec.fingerprint())
+        start_step = checkpoint_step(found)
+        if start_step >= int(n_steps):
+            raise ValueError(
+                f"checkpoint {found} is at step {start_step}, which already "
+                f"reaches the requested total of {n_steps} steps")
+        return str(found), start_step
+
     # -- API --------------------------------------------------------------
-    def run(self, n_steps: int,
-            run_timeout: float | None = None) -> ProcessRunResult:
-        """Execute ``n_steps`` barrier-synchronized steps on all ranks.
+    def run(self, n_steps: int, run_timeout: float | None = None,
+            max_restarts: int | None = None,
+            restart_backoff: float = 0.5) -> ProcessRunResult:
+        """Run the trajectory to ``n_steps`` total steps on all ranks.
+
+        Without ``spec.resume_from`` this executes ``n_steps``
+        barrier-synchronized steps from scratch, exactly as before; with
+        it, the run continues from the validated checkpoint until the
+        trajectory totals ``n_steps``.
+
+        Supervised recovery: when any worker fails, up to
+        ``max_restarts`` (default ``spec.max_restarts``) fresh cohorts
+        are launched from the newest complete checkpoint (or the
+        original starting point when none exists yet), waiting
+        ``restart_backoff * attempt`` seconds between attempts. Shared
+        memory is unlinked after every attempt, successful or not.
 
         Returns the gathered fields plus the merged telemetry report, or
-        raises :class:`ParallelRuntimeError` after cleaning up every
-        shared segment if any worker fails.
+        raises :class:`ParallelRuntimeError` carrying every attempt's
+        failure records once the restart budget is exhausted.
         """
+        spec = self.spec
+        n_steps = int(n_steps)
+        if max_restarts is None:
+            max_restarts = int(spec.max_restarts)
+        resume_dir: str | None = None
+        start_step = 0
+        if spec.resume_from:
+            resume_dir, start_step = self._resolve_resume(
+                spec.resume_from, n_steps)
+        initial_resume = resume_dir is not None
+
+        failure_history: list[list[WorkerFailure]] = []
+        attempt = 0
+        while True:
+            try:
+                result = self._run_attempt(
+                    n_steps, start_step, attempt, resume_dir, run_timeout)
+            except ParallelRuntimeError as err:
+                for f in err.failures:
+                    f.attempt = attempt
+                failure_history.append(err.failures)
+                if attempt >= max_restarts:
+                    raise ParallelRuntimeError(
+                        err.failures, failure_history) from None
+                attempt += 1
+                resume_dir, start_step = None, 0
+                if spec.checkpoint_dir:
+                    found = latest_checkpoint(spec.checkpoint_dir)
+                    if found is not None:
+                        resume_dir = str(found)
+                        start_step = checkpoint_step(found)
+                if resume_dir is None and spec.resume_from:
+                    resume_dir, start_step = self._resolve_resume(
+                        spec.resume_from, n_steps)
+                time.sleep(restart_backoff * attempt)
+                continue
+            if initial_resume or spec.resume_from:
+                self.solver.time = n_steps
+            else:
+                self.solver.time += n_steps
+            result.restarts = attempt
+            result.failure_history = failure_history
+            report = result.report
+            report["restarts"] = attempt
+            report["failures"] = [asdict(f)
+                                  for fs in failure_history for f in fs]
+            report.setdefault("counters", {})["runtime.restarts"] = attempt
+            return result
+
+    def _run_attempt(self, n_steps: int, start_step: int, attempt: int,
+                     resume_dir: str | None,
+                     run_timeout: float | None) -> ProcessRunResult:
+        """Launch one worker cohort and harvest it (one retry attempt)."""
         from .worker import worker_main
 
         spec, solver = self.spec, self.solver
@@ -348,8 +594,8 @@ class ProcessRuntime:
         procs = [
             self._ctx.Process(
                 target=worker_main, name=f"mrlbm-rank{r}",
-                args=(spec, r, int(n_steps), plan, barrier, errq, resq,
-                      self.barrier_timeout),
+                args=(spec, r, n_steps, plan, barrier, errq, resq,
+                      self.barrier_timeout, start_step, attempt, resume_dir),
                 daemon=True)
             for r in range(spec.n_ranks)
         ]
@@ -376,7 +622,6 @@ class ProcessRuntime:
                 getattr(state, solver.field_attr)[...] = view
                 del view
             rho, u = solver.gather_macroscopic()
-            solver.time += int(n_steps)
 
             comm = CommunicationReport()
             per_rank = [results[r] for r in range(spec.n_ranks)]
@@ -388,8 +633,9 @@ class ProcessRuntime:
             solver.comm.merge(comm)
             report = merge_rank_reports(per_rank, wall_s=wall)
             return ProcessRunResult(rho=rho, u=u, comm=comm, report=report,
-                                    per_rank=per_rank, steps=int(n_steps),
-                                    n_ranks=spec.n_ranks, wall_s=wall)
+                                    per_rank=per_rank, steps=n_steps,
+                                    n_ranks=spec.n_ranks, wall_s=wall,
+                                    start_step=start_step)
         finally:
             self._destroy_blocks(blocks)
 
@@ -397,8 +643,12 @@ class ProcessRuntime:
 def run_process(spec: RunSpec, n_steps: int,
                 start_method: str | None = None,
                 barrier_timeout: float = 120.0,
-                run_timeout: float | None = None) -> ProcessRunResult:
+                run_timeout: float | None = None,
+                max_restarts: int | None = None,
+                straggler_grace: float = 15.0) -> ProcessRunResult:
     """Build and run ``spec`` on ``spec.n_ranks`` worker processes."""
     runtime = ProcessRuntime(spec, start_method=start_method,
-                             barrier_timeout=barrier_timeout)
-    return runtime.run(n_steps, run_timeout=run_timeout)
+                             barrier_timeout=barrier_timeout,
+                             straggler_grace=straggler_grace)
+    return runtime.run(n_steps, run_timeout=run_timeout,
+                       max_restarts=max_restarts)

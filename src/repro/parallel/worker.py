@@ -16,10 +16,31 @@ barrier-synchronized SPMD loop for its single rank:
    (:meth:`~repro.parallel.decomposition.DistributedSolver._rank_step`),
    then publish the slab field to the rank's shared block.
 
+Fault tolerance hooks ride on this loop (see ``docs/PARALLEL.md``):
+
+* **checkpoint** — on the ``RunSpec.checkpoint_every`` cadence, every
+  rank writes its interior slab into the per-run checkpoint directory
+  and waits at the barrier; rank 0 then seals the snapshot (manifest +
+  ``COMPLETE`` marker) and prunes old ones. Since all ranks share one
+  deterministic schedule, the snapshot is step-consistent by
+  construction.
+* **resume** — given a checkpoint directory, the worker reassembles the
+  saved global field and cuts out its own slab
+  (:func:`~repro.io.checkpoint.reshard_field`), so the rank count of the
+  resumed run is free to differ from the writing run's.
+* **fault injection** — :func:`~repro.parallel.faults.maybe_inject`
+  fires the spec's deterministic fault (exception, kill, hang, corrupt)
+  at the configured (rank, step, attempt).
+* **watchdog** — on the ``RunSpec.watchdog_every`` cadence the rank
+  checks its interior slab for NaN/Inf/over-speed nodes
+  (:func:`~repro.obs.watchdog.check_fields`) and converts silent
+  corruption into a structured failure.
+
 Failures never deadlock the cohort: an exception posts a structured
 record to the error queue and aborts the barrier, which unwinds every
 sibling with ``BrokenBarrierError``; the parent unlinks all shared
-segments (see :class:`~repro.parallel.runtime.ParallelRuntimeError`).
+segments (see :class:`~repro.parallel.runtime.ParallelRuntimeError`) and
+may relaunch the cohort from the last checkpoint.
 """
 
 from __future__ import annotations
@@ -28,23 +49,90 @@ import os
 import traceback
 from threading import BrokenBarrierError
 
+import numpy as np
+
+from ..io.checkpoint import (
+    assemble_global_field,
+    checkpoint_step_dir,
+    load_distributed_checkpoint,
+    mark_checkpoint_complete,
+    prune_checkpoints,
+    reshard_field,
+    save_rank_slab,
+)
 from ..obs import Telemetry
+from ..obs.manifest import RunManifest
+from ..obs.watchdog import check_fields
+from .faults import maybe_inject, normalize_fault
 from .runtime import RunSpec, ShmPlan, attach_shm, shm_view
 
 __all__ = ["worker_main"]
 
 
+def _resume_state(spec: RunSpec, solver, state, rank: int,
+                  resume_dir: str) -> None:
+    """Load this rank's slab from a checkpoint, re-sharding as needed."""
+    _, slabs = load_distributed_checkpoint(resume_dir)
+    global_field = assemble_global_field(slabs, tuple(spec.shape))
+    slab = reshard_field(global_field, solver.decomp, rank)
+    getattr(state, solver.field_attr)[...] = slab
+
+
+def _write_checkpoint(spec: RunSpec, solver, state, rank: int, step: int,
+                      barrier, barrier_timeout: float) -> None:
+    """Cooperatively snapshot the cohort's state after ``step`` steps.
+
+    Every rank writes its own interior slab (atomic rename), then waits;
+    once all slabs are on disk rank 0 seals the snapshot with the
+    manifest and the ``COMPLETE`` marker and prunes old snapshots. A
+    crash anywhere in here leaves at worst a torn, marker-less directory
+    that resume logic ignores.
+    """
+    step_dir = checkpoint_step_dir(spec.checkpoint_dir, step)
+    field = getattr(state, solver.field_attr)
+    start, stop = solver.decomp.bounds(rank)
+    save_rank_slab(step_dir, rank,
+                   np.ascontiguousarray(field[:, state.interior]),
+                   start=start, stop=stop, step=step,
+                   scheme=solver.scheme, lattice=solver.lat.name)
+    barrier.wait(timeout=barrier_timeout)
+    if rank == 0:
+        RunManifest.from_run_spec(
+            spec, step, kind=spec.kind, n_ranks=spec.n_ranks,
+            backend="process", accel=spec.accel,
+            fingerprint=spec.fingerprint(),
+        ).write(step_dir / "manifest.json")
+        mark_checkpoint_complete(step_dir)
+        prune_checkpoints(spec.checkpoint_dir, keep=spec.checkpoint_keep)
+
+
+def _check_health(solver, state, rank: int, step: int) -> None:
+    """Watchdog pass over this rank's interior slab (raises on divergence)."""
+    rho, u = solver._rank_macroscopic(state)
+    interior = state.interior
+    check_fields(rho[interior], u[:, interior],
+                 state.domain.fluid_mask[interior],
+                 context={"rank": rank, "step": step,
+                          "scheme": solver.scheme})
+
+
 def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
-                barrier, errq, resq, barrier_timeout: float) -> None:
-    """Run one rank of a distributed problem to completion.
+                barrier, errq, resq, barrier_timeout: float,
+                start_step: int = 0, attempt: int = 0,
+                resume_dir: str | None = None) -> None:
+    """Run one rank of a distributed problem from ``start_step`` to the end.
 
     Invoked in a child process by
     :meth:`~repro.parallel.runtime.ProcessRuntime.run`; communicates only
     through the shared-memory blocks in ``plan``, the step ``barrier``
-    and the ``errq``/``resq`` queues.
+    and the ``errq``/``resq`` queues. ``start_step``/``resume_dir``
+    continue a checkpointed trajectory; ``attempt`` numbers the
+    supervised-retry attempt (0 = first launch) and arms fault
+    injection.
     """
     shms = []
     views = []
+    step = None
 
     def _view_of(entry):
         """Attach a planned block and wrap it as an ndarray view."""
@@ -61,6 +149,10 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
         state = solver.ranks[rank]
         tel = Telemetry(record_spans=False)
 
+        if resume_dir:
+            with tel.phase("resume"):
+                _resume_state(spec, solver, state, rank, resume_dir)
+
         fview = _view_of(plan.field[rank])
         fview[...] = getattr(state, solver.field_attr)
 
@@ -72,11 +164,17 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
         recv_r = (_view_of(plan.send_left[decomp.right_of(rank)])
                   if has_r else None)
 
-        fault = spec.fault or {}
-        for step in range(n_steps):
-            if fault.get("rank") == rank and fault.get("step") == step:
-                raise RuntimeError(
-                    f"injected fault on rank {rank} at step {step}")
+        fault = normalize_fault(spec.fault)
+        ckpt_every = int(spec.checkpoint_every or 0)
+        checkpointing = bool(spec.checkpoint_dir) and ckpt_every > 0
+        watch_every = int(spec.watchdog_every or 0)
+        for step in range(start_step, n_steps):
+            if checkpointing and step > start_step and step % ckpt_every == 0:
+                with tel.phase("checkpoint"):
+                    _write_checkpoint(spec, solver, state, rank, step,
+                                      barrier, barrier_timeout)
+            maybe_inject(fault, rank, step, attempt,
+                         getattr(state, solver.field_attr))
             with tel.phase("step"):
                 with tel.phase("pack"):
                     if send_r is not None:
@@ -100,13 +198,18 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
                     fview[...] = getattr(state, solver.field_attr)
             solver.comm.steps += 1
             tel.count("steps")
+            if watch_every and (step + 1) % watch_every == 0:
+                with tel.phase("watchdog"):
+                    _check_health(solver, state, rank, step + 1)
 
         resq.put({
             "rank": rank,
             "pid": os.getpid(),
             "scheme": solver.scheme,
             "accel": solver.accel,
-            "steps": n_steps,
+            "steps": n_steps - start_step,
+            "start_step": start_step,
+            "attempt": attempt,
             "n_fluid": state.n_interior_fluid(),
             "wall_s": tel.phase_total("step"),
             "comm": solver.comm.to_dict(),
@@ -114,7 +217,8 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
         })
     except BrokenBarrierError:
         # A sibling failed (or timed out) and aborted the barrier; unwind
-        # quietly — the culprit has already posted its failure record.
+        # quietly — the culprit has already posted its failure record (or
+        # the parent will synthesize one for a silent death).
         pass
     except Exception as exc:
         try:
@@ -123,6 +227,8 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
                 "exc_type": type(exc).__name__,
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
+                "step": step,
+                "attempt": attempt,
             })
         finally:
             try:

@@ -126,8 +126,9 @@ class TestFailurePaths:
         with pytest.raises(ParallelRuntimeError) as excinfo:
             run_process(spec, 6, run_timeout=120.0)
         failures = excinfo.value.failures
-        assert any(f.rank == 1 and f.exc_type == "RuntimeError"
+        assert any(f.rank == 1 and f.exc_type == "FaultInjected"
                    for f in failures)
+        assert any(f.step == 2 for f in failures if f.rank == 1)
         assert "injected fault" in str(excinfo.value)
 
     def test_no_shared_memory_leak_on_abort(self):
