@@ -9,7 +9,6 @@ physics while the accounting runs.
 """
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro.bench import render_table

@@ -6,7 +6,6 @@ vortex amplitude each scheme survives on an under-resolved Taylor-Green
 run, across relaxation times approaching the tau -> 1/2 inviscid limit.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.analysis.stability import stability_map

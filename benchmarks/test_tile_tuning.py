@@ -7,13 +7,12 @@ while for D3Q27 the V100 keeps 8x8 but the MI100 must shrink to 8x4 to
 respect the two-blocks-per-CU rule on its 64 KB LDS.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.bench import render_table
 from repro.gpu import MI100, V100
 from repro.lattice import get_lattice
-from repro.perf import best_tile, sweep_tiles
+from repro.perf import sweep_tiles
 
 
 def _rank_all():

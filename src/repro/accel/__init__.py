@@ -19,8 +19,28 @@ faster realizations of the *same* steps, selected per solver via
 
 Every backend reproduces the reference trajectory to machine precision
 (pinned by ``tests/unit/test_accel_backends.py``). Use
-:func:`available_backends` for runtime discovery and
-:func:`make_stepper` to bind a backend to a constructed solver.
+:func:`available_backends` for runtime discovery,
+:func:`validate_backend` to check a solver/backend combination at
+construction time, and :func:`make_stepper` to bind a backend to a
+constructed solver.
+
+Capability handshake
+--------------------
+Fast paths are not inferred from the class hierarchy: a solver class
+opts in by declaring an ``accel_caps`` dict **in its own class body**
+(inherited declarations do not count, so a subclass that overrides
+physics is rejected until it certifies its own compatibility)::
+
+    accel_caps = {"family": "st"}                       # STSolver
+    accel_caps = {"family": "mr", "scheme": "MR-P"}     # MRPSolver
+    accel_caps = {"family": "mr", "scheme": "MR-P",
+                  "variable_tau": True}                 # PowerLawMRPSolver
+
+``family`` selects the kernel family (``"st"`` two-lattice BGK,
+``"mr"`` moment representation with ``scheme`` ``"MR-P"``/``"MR-R"``).
+``variable_tau: True`` means the solver exposes a grid-shaped
+``tau_field`` and an ``_update_relaxation()`` hook, and the MR stepper
+runs the per-node relaxation path each step.
 """
 
 from __future__ import annotations
@@ -33,6 +53,8 @@ __all__ = [
     "BACKENDS",
     "available_backends",
     "make_stepper",
+    "validate_backend",
+    "solver_caps",
     "FusedSTCore",
     "FusedMRCore",
     "NumbaSTCore",
@@ -68,26 +90,35 @@ class _FusedSTStepper:
     def step(self, solver) -> None:
         """One fused ST step updating ``solver.f`` in place."""
         self.core.step(solver.f, solver._f_streamed, solver.boundaries,
-                       self._solid, solver.telemetry)
+                       self._solid, solver.telemetry, force=solver.force)
 
 
 class _FusedMRStepper:
-    """Binds a :class:`FusedMRCore` to an MR-P or MR-R solver."""
+    """Binds a :class:`FusedMRCore` to an MR-P or MR-R family solver."""
 
     backend = "fused"
 
-    def __init__(self, solver, scheme: str, stream: str = "auto"):
+    def __init__(self, solver, scheme: str, variable_tau: bool = False,
+                 stream: str = "auto"):
         self.core = FusedMRCore(
             solver.lat, solver.domain.shape, solver.tau, scheme=scheme,
-            tau_bulk=getattr(solver, "tau_bulk", None), stream=stream,
-            f_scratch=solver._f_scratch)
+            tau_bulk=None if variable_tau
+            else getattr(solver, "tau_bulk", None),
+            stream=stream, f_scratch=solver._f_scratch)
+        self.variable_tau = variable_tau
         solid = solver.domain.solid_mask
         self._solid = solid if solid.any() else None
 
     def step(self, solver) -> None:
         """One fused MR step updating ``solver.m`` in place."""
+        tau_field = None
+        if self.variable_tau:
+            with solver.telemetry.phase("collide"):
+                solver._update_relaxation()
+            tau_field = solver.tau_field
         self.core.step(solver.m, solver.boundaries, self._solid,
-                       solver.telemetry)
+                       solver.telemetry, force=solver.force,
+                       tau_field=tau_field)
 
 
 class _NumbaSTStepper:
@@ -109,14 +140,22 @@ class _NumbaMRStepper:
 
     backend = "numba"
 
-    def __init__(self, solver, scheme: str):
+    def __init__(self, solver, scheme: str, variable_tau: bool = False):
         self.core = NumbaMRCore(solver.lat, solver.domain.shape, solver.tau,
                                 scheme=scheme,
-                                tau_bulk=getattr(solver, "tau_bulk", None))
+                                tau_bulk=None if variable_tau
+                                else getattr(solver, "tau_bulk", None))
+        self.variable_tau = variable_tau
 
     def step(self, solver) -> None:
         """One JIT-fused MR step updating ``solver.m`` in place."""
-        self.core.step(solver.m, solver.telemetry)
+        tau_field = None
+        if self.variable_tau:
+            with solver.telemetry.phase("collide"):
+                solver._update_relaxation()
+            tau_field = solver.tau_field
+        self.core.step(solver.m, solver.telemetry, force=solver.force,
+                       tau_field=tau_field)
 
 
 def _reject(solver, backend: str, why: str):
@@ -126,24 +165,29 @@ def _reject(solver, backend: str, why: str):
     )
 
 
-def make_stepper(solver, backend: str | None = None):
-    """Build the fast-path stepper bound to ``solver``.
+def solver_caps(solver) -> dict | None:
+    """The solver's own ``accel_caps`` declaration, or ``None``.
 
-    The supported solver/feature matrix is checked here, *before* any
-    kernel runs: the fused backend accelerates the exact reference
-    solver classes (``STSolver`` with plain BGK, ``MRPSolver``,
-    ``MRRSolver`` — subclasses with overridden physics fall back to
-    ``reference`` semantics and are rejected), and the numba backend
-    additionally requires a fully periodic, solid-free, unforced,
-    boundary-free problem. Raises :class:`ValueError` for unsupported
+    Only a declaration in the exact class body counts: subclasses do not
+    inherit their parent's certification, so a subclass that overrides
+    physics stays on the reference path until it opts in explicitly (see
+    the module docstring).
+    """
+    return type(solver).__dict__.get("accel_caps")
+
+
+def validate_backend(solver, backend: str | None = None) -> dict | None:
+    """Check the solver/backend matrix; raise *before* any kernel runs.
+
+    Called from :class:`~repro.solver.base.Solver` at construction time
+    (and again by :func:`make_stepper`), so unsupported combinations
+    fail fast — never mid-run after setup work has already happened.
+    Returns the solver's capability declaration (``None`` for
+    ``"reference"``). Raises :class:`ValueError` for unsupported
     combinations and :class:`RuntimeError` when numba is requested but
     not installed.
     """
-    # Local imports: the solver package imports this package for
-    # backend-name validation, so the reverse import must be deferred.
     from ..core.collision import BGKCollision
-    from ..solver.moment import MRPSolver, MRRSolver
-    from ..solver.standard import STSolver
 
     backend = solver.backend if backend is None else backend
     if backend not in BACKENDS:
@@ -153,24 +197,28 @@ def make_stepper(solver, backend: str | None = None):
     if backend == "reference":
         return None
 
-    is_st = type(solver) is STSolver
-    is_mrp = type(solver) is MRPSolver
-    is_mrr = type(solver) is MRRSolver
-    if not (is_st or is_mrp or is_mrr):
+    caps = solver_caps(solver)
+    if caps is None:
         raise _reject(
             solver, backend,
-            "fast paths exist for STSolver, MRPSolver and MRRSolver only "
-            "(subclasses may override physics the kernels hard-code)")
-    if solver.force is not None:
-        raise _reject(solver, backend, "body forcing is not fused")
-    if is_st and type(solver.collision) is not BGKCollision:
+            "the class declares no accel_caps — fast paths are an explicit "
+            "opt-in, and subclasses that override physics must certify "
+            "their own compatibility (see repro.accel)")
+    family = caps.get("family")
+    if family not in ("st", "mr"):
         raise _reject(solver, backend,
-                      "only the plain BGK collision is fused for ST")
+                      f"unknown accel_caps family {family!r}")
+
+    if family == "st":
+        # The collision attribute appears after the base constructor;
+        # STSolver re-validates once it is set (still construction time).
+        collision = getattr(solver, "collision", None)
+        if collision is not None and type(collision) is not BGKCollision:
+            raise _reject(solver, backend,
+                          "only the plain BGK collision is fused for ST")
 
     if backend == "fused":
-        if is_st:
-            return _FusedSTStepper(solver)
-        return _FusedMRStepper(solver, "MR-P" if is_mrp else "MR-R")
+        return caps
 
     # backend == "numba"
     if not HAS_NUMBA:
@@ -183,6 +231,34 @@ def make_stepper(solver, backend: str | None = None):
         raise _reject(solver, backend,
                       "the numba kernels support fully periodic, "
                       "solid-free problems only")
-    if is_st:
+    if family == "st" and solver.force is not None:
+        raise _reject(solver, backend,
+                      "the numba ST kernel does not fuse body forcing; "
+                      "use backend='fused'")
+    return caps
+
+
+def make_stepper(solver, backend: str | None = None):
+    """Build the fast-path stepper bound to ``solver``.
+
+    Dispatch follows the capability handshake (see the module
+    docstring): the solver's own ``accel_caps`` declaration selects the
+    kernel family, and :func:`validate_backend` re-checks the supported
+    matrix. Returns ``None`` for ``backend="reference"``.
+    """
+    backend = solver.backend if backend is None else backend
+    caps = validate_backend(solver, backend)
+    if caps is None:
+        return None
+
+    family = caps["family"]
+    variable_tau = bool(caps.get("variable_tau"))
+    if backend == "fused":
+        if family == "st":
+            return _FusedSTStepper(solver)
+        return _FusedMRStepper(solver, caps["scheme"],
+                               variable_tau=variable_tau)
+    if family == "st":
         return _NumbaSTStepper(solver)
-    return _NumbaMRStepper(solver, "MR-P" if is_mrp else "MR-R")
+    return _NumbaMRStepper(solver, caps["scheme"],
+                           variable_tau=variable_tau)

@@ -19,7 +19,14 @@ steps that
 * stream either through ``np.roll`` slicing or through the
   :mod:`~repro.accel.tables` single-gather (selectable; rolls win on
   hosts where sliced copies beat indexed gathers, see
-  ``docs/PERFORMANCE.md``).
+  ``docs/PERFORMANCE.md``);
+* fold body forcing (Guo's half-force scheme, distribution space for ST
+  and the moment-space projection of :mod:`repro.core.forcing` for MR)
+  into the collision stage — a handful of extra FMAs per node against
+  preallocated buffers, no additional field passes;
+* accept a per-node ``tau_field`` in the MR-P collision (the local
+  relaxation of :class:`repro.solver.non_newtonian.PowerLawMRPSolver`),
+  so variable-viscosity problems keep the fused round trip.
 
 Every kernel reproduces the corresponding reference solver to machine
 precision: the collision arithmetic mirrors the reference expressions
@@ -101,6 +108,7 @@ class FusedSTCore:
         self._meq = np.empty((m, n))
         self._u = np.empty((lat.d, n))
         self._feq = np.empty((lat.q, n))
+        self._force_bufs = None
 
     def _stream(self, f: np.ndarray, out: np.ndarray) -> None:
         if self._table is not None:
@@ -108,9 +116,53 @@ class FusedSTCore:
         else:
             stream_push(self.lat, f, out=out)
 
+    def _ensure_force_bufs(self) -> tuple:
+        """Scratch for the fused Guo source (allocated on first forced step)."""
+        if self._force_bufs is None:
+            lat = self.lat
+            n = self._m.shape[1]
+            self._force_bufs = (
+                np.ascontiguousarray(lat.c, dtype=np.float64),  # (Q, D)
+                np.empty((lat.q, n)),                           # c . F
+                np.empty((lat.q, n)),                           # c . u
+                np.empty((lat.d, n)),                           # u_a F_a terms
+                np.empty(n),                                    # u . F
+                (1.0 - 0.5 / self.tau) * lat.w[:, None],        # Guo prefactor
+            )
+        return self._force_bufs
+
+    def _add_guo_source(self, out: np.ndarray, ff: np.ndarray) -> None:
+        """Add the fused Guo source ``S_i`` for the flat force ``ff``.
+
+        Mirrors :func:`repro.core.forcing.guo_source` operation for
+        operation (including the division by ``cs2``/``cs4``) so forced
+        fused runs track the reference trajectory at the ulp level.
+        """
+        lat = self.lat
+        cmat, cf, cu, uftmp, uf, wpref = self._ensure_force_bufs()
+        np.matmul(cmat, ff, out=cf)
+        np.matmul(cmat, self._u, out=cu)
+        np.multiply(self._u, ff, out=uftmp)
+        np.sum(uftmp, axis=0, out=uf)
+        # S = pref w ((c.F - u.F)/cs2 + (c.u)(c.F)/cs4), built in place:
+        # cu becomes the cs4 term, cf the cs2 term, then both fold into out.
+        cu *= cf
+        cu /= lat.cs4
+        cf -= uf
+        cf /= lat.cs2
+        cf += cu
+        cf *= wpref
+        out += cf
+
     def step(self, f: np.ndarray, scratch: np.ndarray, boundaries,
-             solid_mask: np.ndarray | None, tel=NULL_TELEMETRY) -> None:
-        """Advance one step in place (``f`` ends as the new lattice)."""
+             solid_mask: np.ndarray | None, tel=NULL_TELEMETRY,
+             force: np.ndarray | None = None) -> None:
+        """Advance one step in place (``f`` ends as the new lattice).
+
+        ``force`` is an optional ``(D, *grid)`` body-force field; the
+        collision then evaluates the equilibrium at Guo's half-force
+        velocity and adds the fused source term.
+        """
         lat = self.lat
         d = lat.d
         with tel.phase("stream"):
@@ -122,10 +174,18 @@ class FusedSTCore:
             fs = scratch.reshape(lat.q, -1)
             np.matmul(self._mm, fs, out=self._m)
             rho = self._m[0]
-            np.divide(self._m[1:1 + d], rho, out=self._u)
             meq = self._meq
             meq[0] = rho
-            meq[1:1 + d] = self._m[1:1 + d]
+            if force is None:
+                np.divide(self._m[1:1 + d], rho, out=self._u)
+                meq[1:1 + d] = self._m[1:1 + d]
+            else:
+                # u = (j + F/2)/rho; the equilibrium momentum is rho u.
+                ff = force.reshape(d, -1)
+                np.multiply(ff, 0.5, out=self._u)
+                self._u += self._m[1:1 + d]
+                self._u /= rho
+                np.multiply(self._u, rho, out=meq[1:1 + d])
             for k, (a, b) in enumerate(lat.pair_tuples):
                 np.multiply(self._u[a], self._u[b], out=meq[1 + d + k])
                 meq[1 + d + k] *= rho
@@ -136,6 +196,8 @@ class FusedSTCore:
             np.subtract(fs, self._feq, out=out)
             out *= self.keep
             out += self._feq
+            if force is not None:
+                self._add_guo_source(out, ff)
             if solid_mask is not None:
                 f[:, solid_mask] = lat.w[:, None]
         with tel.phase("boundary"):
@@ -183,6 +245,9 @@ class FusedMRCore:
         self._u = np.empty((d, n))
         self._pi_eq = np.empty((lat.n_pairs, n))
         self._pi_neq = np.empty((lat.n_pairs, n))
+        self._keep_buf = None   # per-node 1 - 1/tau for the tau_field path
+        self._pref_buf = None   # per-node 1 - 1/(2 tau) force prefactor
+        self._src_buf = None    # scratch for the moment-space force terms
         if alloc_f:
             self._f_star = np.empty((lat.q, *self.shape))
             if f_scratch is None:
@@ -230,28 +295,61 @@ class FusedMRCore:
         else:
             stream_push(self.lat, f, out=out)
 
-    def _collide(self, mf: np.ndarray) -> None:
-        """Fill the coefficient block ``G`` from the flat moment field."""
+    def _collide(self, mf: np.ndarray, force: np.ndarray | None = None,
+                 tau_field: np.ndarray | None = None) -> None:
+        """Fill the coefficient block ``G`` from the flat moment field.
+
+        ``force`` is an optional flat ``(D, N)`` body-force field: the
+        equilibria are evaluated at Guo's half-force velocity and the
+        projected source moments (momentum input ``F``, second-moment
+        source ``(1 - 1/(2 tau))(u F + F u)``) are added, mirroring
+        :func:`repro.core.forcing.apply_moment_space_force`.
+
+        ``tau_field`` is an optional flat ``(N,)`` per-node relaxation
+        time (MR-P only); it replaces the scalar ``tau`` in both the
+        relaxation factor and the force prefactor, mirroring the
+        power-law solver's variable-tau collision.
+        """
         lat = self.lat
         d = lat.d
         rho, j, pi = mf[0], mf[1:1 + d], mf[1 + d:]
         u = self._u
-        np.divide(j, rho, out=u)
+        if force is None:
+            np.divide(j, rho, out=u)
+        else:
+            np.multiply(force, 0.5, out=u)
+            u += j
+            u /= rho
+        if tau_field is None:
+            keep = self.keep
+        else:
+            if self._keep_buf is None:
+                self._keep_buf = np.empty_like(tau_field)
+            keep = self._keep_buf
+            np.divide(-1.0, tau_field, out=keep)
+            keep += 1.0
         for k, (a, b) in enumerate(lat.pair_tuples):
             np.multiply(u[a], u[b], out=self._pi_eq[k])
             self._pi_eq[k] *= rho
         np.subtract(pi, self._pi_eq, out=self._pi_neq)
         g = self._g
         g[0] = rho
-        g[1:1 + d] = j
+        if force is None:
+            g[1:1 + d] = j
+        else:
+            np.add(j, force, out=g[1:1 + d])
         g_pi = g[1 + d:1 + d + lat.n_pairs]
-        if self.tau_bulk is None:
-            np.multiply(self._pi_neq, self.keep, out=g_pi)
+        if self.tau_bulk is None or tau_field is not None:
+            # tau_field implies the plain projective relaxation (the
+            # variable-tau reference path has no bulk split either).
+            np.multiply(self._pi_neq, keep, out=g_pi)
             g_pi += self._pi_eq
         else:
             dev, trace_cols = _split_trace(lat, self._pi_neq)
             g_pi[:] = (self._pi_eq + self.keep * dev
                        + (1.0 - 1.0 / self.tau_bulk) * trace_cols)
+        if force is not None:
+            self._add_moment_force(g_pi, u, force, tau_field)
         if self._a34_specs is not None:
             trip, quads = self._a34_specs
             keep = self.keep
@@ -269,13 +367,52 @@ class FusedMRCore:
                 g[row] = acc
                 row += 1
 
-    def step(self, m: np.ndarray, boundaries,
-             solid_mask: np.ndarray | None, tel=NULL_TELEMETRY) -> None:
-        """Advance the ``(M, *grid)`` moment field one step in place."""
+    def _add_moment_force(self, g_pi: np.ndarray, u: np.ndarray,
+                          force: np.ndarray,
+                          tau_field: np.ndarray | None) -> None:
+        """Add the projected Guo second-moment source to ``g_pi`` in place."""
         lat = self.lat
+        if tau_field is None:
+            pref = 1.0 - 0.5 / self.tau
+        else:
+            if self._pref_buf is None:
+                self._pref_buf = np.empty_like(tau_field)
+            pref = self._pref_buf
+            np.divide(-0.5, tau_field, out=pref)
+            pref += 1.0
+        if self._src_buf is None:
+            self._src_buf = (np.empty(g_pi.shape[1]), np.empty(g_pi.shape[1]))
+        src, tmp = self._src_buf
+        for k, (a, b) in enumerate(lat.pair_tuples):
+            np.multiply(u[a], force[b], out=src)
+            np.multiply(u[b], force[a], out=tmp)
+            src += tmp
+            src *= pref
+            g_pi[k] += src
+
+    def step(self, m: np.ndarray, boundaries,
+             solid_mask: np.ndarray | None, tel=NULL_TELEMETRY,
+             force: np.ndarray | None = None,
+             tau_field: np.ndarray | None = None) -> None:
+        """Advance the ``(M, *grid)`` moment field one step in place.
+
+        ``force`` is an optional ``(D, *grid)`` body-force field (the
+        projected Guo coupling); ``tau_field`` an optional ``(*grid,)``
+        per-node relaxation time (MR-P only, see :meth:`_collide`).
+        """
+        lat = self.lat
+        if tau_field is not None and self.scheme != "MR-P":
+            raise ValueError(
+                "per-node tau_field collision is implemented for the MR-P "
+                "scheme only"
+            )
         mf = m.reshape(lat.n_moments, -1)
         with tel.phase("collide"):
-            self._collide(mf)
+            self._collide(
+                mf,
+                force=None if force is None else force.reshape(lat.d, -1),
+                tau_field=None if tau_field is None
+                else tau_field.reshape(-1))
             np.matmul(self._rcext, self._g,
                       out=self._f_star.reshape(lat.q, -1))
         with tel.phase("stream"):

@@ -18,9 +18,12 @@ phases — the host-side analogue of the paper's single-kernel GPU step:
 
 Numba is an optional extra (``pip install .[accel]``): this module
 imports cleanly without it, exposing :data:`HAS_NUMBA` so callers and
-tests can gate/skip. The JIT path supports fully periodic, solid-free,
-unforced problems (the regime the paper benchmarks); anything else is
-rejected by :func:`repro.accel.make_stepper` before a kernel runs.
+tests can gate/skip. The JIT path supports fully periodic, solid-free
+problems (the regime the paper benchmarks); the MR kernels additionally
+take body forcing and a per-node ``tau_field`` (both live in the shared
+NumPy collision stage), while the ST kernel stays unforced. Anything
+else is rejected by :func:`repro.accel.validate_backend` at solver
+construction, before a kernel runs.
 """
 
 from __future__ import annotations
@@ -160,13 +163,30 @@ class NumbaMRCore:
         self._src = neighbor_table(lat, self.shape).src
         self.scheme = scheme
 
-    def step(self, m: np.ndarray, tel=NULL_TELEMETRY) -> None:
-        """Advance the ``(M, *grid)`` moment field one step in place."""
+    def step(self, m: np.ndarray, tel=NULL_TELEMETRY,
+             force: np.ndarray | None = None,
+             tau_field: np.ndarray | None = None) -> None:
+        """Advance the ``(M, *grid)`` moment field one step in place.
+
+        ``force``/``tau_field`` reach the shared NumPy collision stage
+        (see :meth:`repro.accel.fused.FusedMRCore._collide`); the JIT
+        reconstruct+stream+project kernel is force-agnostic, so forced
+        and variable-tau periodic problems ride the same fused pass.
+        """
         lat = self.lat
         core = self._core
+        if tau_field is not None and self.scheme != "MR-P":
+            raise ValueError(
+                "per-node tau_field collision is implemented for the MR-P "
+                "scheme only"
+            )
         mf = m.reshape(lat.n_moments, -1)
         with tel.phase("collide"):
-            core._collide(mf)
+            core._collide(
+                mf,
+                force=None if force is None else force.reshape(lat.d, -1),
+                tau_field=None if tau_field is None
+                else tau_field.reshape(-1))
         with tel.phase("stream+moments"):
             _moment_fused_kernel(core._g, core._rcext, core._mm, self._src,
                                  mf)

@@ -41,6 +41,7 @@ class Plane:
 
     @property
     def inward(self) -> int:
+        """Signed unit direction from the face into the domain interior."""
         return 1 if self.side == 0 else -1
 
     def face_index(self, shape: tuple[int, ...], offset: int = 0) -> tuple:

@@ -43,6 +43,7 @@ class HalfwayBounceBack(Boundary):
         self._momentum: list[np.ndarray | None] = []
 
     def bind(self, lat: LatticeDescriptor, domain: Domain, tau: float) -> "HalfwayBounceBack":
+        """Precompute the fluid-solid link targets (and momentum terms)."""
         solid = domain.solid_mask
         fluidlike = domain.fluid_mask
         axes = tuple(range(solid.ndim))
@@ -76,6 +77,7 @@ class HalfwayBounceBack(Boundary):
 
     def post_stream(self, lat: LatticeDescriptor, f_new: np.ndarray,
                     f_source: np.ndarray) -> None:
+        """Reflect the populations streamed out of solid nodes."""
         for i in range(lat.q):
             idx = self._targets[i]
             if idx is None:
@@ -95,12 +97,14 @@ class FullwayBounceBack(Boundary):
         self._solid_idx: tuple[np.ndarray, ...] | None = None
 
     def bind(self, lat: LatticeDescriptor, domain: Domain, tau: float) -> "FullwayBounceBack":
+        """Precompute the solid-node index set."""
         idx = np.nonzero(domain.solid_mask)
         self._solid_idx = idx if idx[0].size else None
         return self
 
     def post_collide(self, lat: LatticeDescriptor, f_star: np.ndarray,
                      f_post_stream: np.ndarray) -> None:
+        """Replace the collision at solid nodes by a full reflection."""
         if self._solid_idx is None:
             return
         idx = self._solid_idx

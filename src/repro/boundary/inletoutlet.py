@@ -70,9 +70,23 @@ class _FaceBoundary(Boundary):
         self._shape: tuple[int, ...] | None = None
 
     def bind(self, lat: LatticeDescriptor, domain: Domain, tau: float):
+        """Resolve the face on ``domain`` and cache the component split."""
         if self.plane.axis >= domain.ndim:
             raise ValueError(
                 f"plane axis {self.plane.axis} out of range for {domain.ndim}D domain"
+            )
+        if (self.method == "regularized-fd"
+                and domain.shape[self.plane.axis] < 3):
+            # The one-sided strain stencil reads the planes at offsets 1
+            # and 2 from the face; on a thinner domain those indices
+            # silently wrap around the periodic axis and corrupt the
+            # reconstruction, so refuse at bind time.
+            raise ValueError(
+                f"the regularized-fd reconstruction needs at least 3 planes "
+                f"along axis {self.plane.axis} (its one-sided finite "
+                f"difference reads two interior planes), but the domain has "
+                f"only {domain.shape[self.plane.axis]}; enlarge the domain "
+                f"or use method='nebb'"
             )
         self.tau = float(tau)
         self._shape = domain.shape
@@ -149,6 +163,7 @@ class VelocityInlet(_FaceBoundary):
         self.u_b: np.ndarray | None = None
 
     def bind(self, lat: LatticeDescriptor, domain: Domain, tau: float) -> "VelocityInlet":
+        """Bind the face and normalize the prescribed velocity profile."""
         super().bind(lat, domain, tau)
         face = self.plane.face_index(domain.shape)
         plane_shape = domain.node_type[face].shape
@@ -157,6 +172,7 @@ class VelocityInlet(_FaceBoundary):
 
     def post_stream(self, lat: LatticeDescriptor, f_new: np.ndarray,
                     f_source: np.ndarray) -> None:
+        """Impose the prescribed velocity on the freshly streamed face."""
         fslab = self._face_view(f_new)
         s0, sm = self._density_sums(lat, fslab)
         u_n = self.plane.inward * self.u_b[self.plane.axis]
@@ -185,6 +201,7 @@ class PressureOutlet(_FaceBoundary):
 
     def post_stream(self, lat: LatticeDescriptor, f_new: np.ndarray,
                     f_source: np.ndarray) -> None:
+        """Impose the prescribed density on the freshly streamed face."""
         fslab = self._face_view(f_new)
         s0, sm = self._density_sums(lat, fslab)
         rho = np.full(s0.shape, self.rho_out)

@@ -51,7 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--lattice", default="D2Q9")
     run.add_argument("--shape", default="128,66",
                      help="comma-separated grid shape, e.g. 128,66 or 64,34,34")
-    run.add_argument("--problem", default="channel", choices=["channel", "taylor-green"])
+    run.add_argument("--problem", default="channel",
+                     choices=["channel", "forced-channel", "taylor-green"])
     run.add_argument("--tau", type=float, default=0.8)
     run.add_argument("--u-max", type=float, default=0.05)
     run.add_argument("--steps", type=int, default=1000)
@@ -115,8 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--accel", default="reference",
                       choices=["reference", "fused", "numba", "compare"],
                       help="execution backend to profile, or 'compare' to "
-                      "run every available backend on one periodic "
-                      "problem and report MLUPS side by side")
+                      "run every available backend on one problem and "
+                      "report MLUPS side by side")
+    prof.add_argument("--problem", default="periodic",
+                      choices=["periodic", "forced-channel", "power-law"],
+                      help="workload for --accel compare: a periodic box, "
+                      "a body-force-driven channel, or the power-law "
+                      "(variable-tau) channel")
 
     sub.add_parser("tables", help="regenerate paper Tables 1-4")
     fig = sub.add_parser("figures", help="regenerate paper Figures 2-3")
@@ -153,7 +159,7 @@ def _distributed_spec(args, shape):
 
     accel = getattr(args, "accel", "reference")
     if accel == "numba":
-        raise SystemExit(
+        raise ValueError(
             "--accel numba is single-domain only; distributed runs "
             "support --accel reference or fused")
     fault_tolerance = {
@@ -168,6 +174,10 @@ def _distributed_spec(args, shape):
                        args.ranks, tau=args.tau, accel=accel,
                        options={"u_max": args.u_max, "bc_method": "nebb"},
                        **fault_tolerance)
+    if args.problem == "forced-channel":
+        return RunSpec("forced-channel", args.scheme, args.lattice, shape,
+                       args.ranks, tau=args.tau, accel=accel,
+                       options={"u_max": args.u_max}, **fault_tolerance)
     if len(shape) != 2:
         raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
     from .validation import taylor_green_fields
@@ -192,7 +202,6 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
         raise SystemExit("--checkpoint-dir/--resume/--max-restarts need "
                          "--backend process")
     shape = tuple(int(s) for s in args.shape.split(","))
-    spec = _distributed_spec(args, shape)
     if getattr(args, "trace", None):
         print("note: --trace applies to single-domain runs only; "
               "ignored for distributed backends", file=sys.stderr)
@@ -200,7 +209,13 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
         print("note: --watchdog on distributed runs needs the process "
               "backend; ignored", file=sys.stderr)
 
-    solver = spec.build()
+    try:
+        spec = _distributed_spec(args, shape)
+        solver = spec.build()
+    except (ValueError, RuntimeError) as err:
+        # unsupported accel/solver combination — fail before any rank runs
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
     n_fluid = solver.global_domain.n_fluid
     print(f"{args.scheme} / {args.lattice} on {shape} "
           f"({n_fluid:,} fluid nodes), tau = {args.tau}, "
@@ -293,17 +308,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     shape = tuple(int(s) for s in args.shape.split(","))
     accel = getattr(args, "accel", "reference")
-    if args.problem == "channel":
-        solver = channel_problem(args.scheme, args.lattice, shape,
-                                 tau=args.tau, u_max=args.u_max,
-                                 bc_method=args.bc, backend=accel)
-    else:
-        if len(shape) != 2:
-            raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
-        nu = (args.tau - 0.5) / 3.0
-        rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
-        solver = periodic_problem(args.scheme, args.lattice, shape, args.tau,
-                                  rho0=rho0, u0=u0, backend=accel)
+    try:
+        if args.problem == "channel":
+            solver = channel_problem(args.scheme, args.lattice, shape,
+                                     tau=args.tau, u_max=args.u_max,
+                                     bc_method=args.bc, backend=accel)
+        elif args.problem == "forced-channel":
+            from .solver import forced_channel_problem
+
+            solver = forced_channel_problem(args.scheme, args.lattice, shape,
+                                            tau=args.tau, u_max=args.u_max,
+                                            backend=accel)
+        else:
+            if len(shape) != 2:
+                raise SystemExit(
+                    "taylor-green preset is 2D; pass a 2-entry shape")
+            nu = (args.tau - 0.5) / 3.0
+            rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
+            solver = periodic_problem(args.scheme, args.lattice, shape,
+                                      args.tau, rho0=rho0, u0=u0,
+                                      backend=accel)
+    except (ValueError, RuntimeError) as err:
+        # Backend validation happens at solver construction (see
+        # repro.accel.validate_backend), so an unsupported --accel
+        # combination dies here with a clean message — never mid-run.
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
 
     n_fluid = solver.domain.n_fluid
     t0 = time.perf_counter()
@@ -425,7 +455,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 continue
             result = compare_backends(scheme, lattice=args.lattice,
                                       shape=shape, steps=args.steps,
-                                      tau=args.tau)
+                                      tau=args.tau,
+                                      problem=getattr(args, "problem",
+                                                      "periodic"))
             results.append(result)
             print(format_backend_comparison(result))
             continue

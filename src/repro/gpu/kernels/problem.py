@@ -134,7 +134,7 @@ class KernelProblem:
     def node_type_grid(self) -> np.ndarray:
         """Node classification grid matching :mod:`repro.geometry` codes —
         used to build the equivalent reference-solver domain."""
-        from ...geometry import FLUID, INLET, OUTLET, SOLID
+        from ...geometry import INLET, OUTLET, SOLID
 
         nt = np.zeros(self.shape, dtype=np.int8)
         if self.mode == "masked":

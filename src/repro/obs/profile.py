@@ -177,54 +177,119 @@ def format_profile(result: dict) -> str:
     return "\n".join(lines)
 
 
+def _power_law_channel(lattice: str, shape: tuple[int, ...], tau: float,
+                       u_max: float, backend: str):
+    """Force-driven power-law channel for the backend comparison."""
+    from ..boundary import HalfwayBounceBack
+    from ..geometry import channel_2d, channel_3d
+    from ..lattice import get_lattice
+    from ..solver.non_newtonian import PowerLawMRPSolver, power_law_force
+
+    import numpy as np
+
+    lat = get_lattice(lattice)
+    domain = (channel_2d(*shape, with_io=False) if lat.d == 2
+              else channel_3d(*shape, with_io=False))
+    consistency = lat.viscosity(tau)
+    exponent = 0.8
+    force = np.zeros(lat.d)
+    force[0] = power_law_force(u_max, shape[1] - 2, consistency, exponent)
+    return PowerLawMRPSolver(lat, domain, tau,
+                             boundaries=[HalfwayBounceBack()], force=force,
+                             consistency=consistency, exponent=exponent,
+                             backend=backend)
+
+
 def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
                      shape: tuple[int, ...] | None = None, steps: int = 20,
                      tau: float = 0.8, u_max: float = 0.05,
-                     backends: tuple[str, ...] | None = None) -> dict:
-    """Run every requested backend on one periodic problem, side by side.
+                     backends: tuple[str, ...] | None = None,
+                     problem: str = "periodic",
+                     warmup_steps: int = 2) -> dict:
+    """Run every requested backend on one problem, side by side.
 
-    A fully periodic box is used so that *all* backends (including the
-    boundary-free numba JIT path) run the identical problem. Each
-    backend's MLUPS comes from its own telemetry registry, and each fast
-    backend's end state is compared against the reference run — the
+    ``problem`` selects the workload:
+
+    ``"periodic"``
+        A fully periodic box, so *all* backends (including the
+        boundary-free numba JIT path) run the identical problem.
+    ``"forced-channel"``
+        The body-force-driven bounce-back channel
+        (:func:`repro.solver.presets.forced_channel_problem`) —
+        exercises the fused Guo-source path.
+    ``"power-law"``
+        A force-driven power-law (variable-tau) channel stepping
+        :class:`~repro.solver.non_newtonian.PowerLawMRPSolver` —
+        exercises the fused per-node ``tau_field`` collision. The
+        ``scheme`` argument is ignored (the solver is MR-P based).
+
+    Each backend's MLUPS comes from its own telemetry registry, and each
+    fast backend's end state is compared against the reference run — the
     ``max_abs_diff`` column is the measured parity, expected at machine
     precision.
 
     ``backends=None`` selects every backend available in this
-    environment (:func:`repro.accel.available_backends`).
+    environment (:func:`repro.accel.available_backends`); the walled
+    problems drop ``"numba"`` from that default (the JIT kernels are
+    periodic-only).
+
+    Every backend first advances ``warmup_steps`` untimed steps (page
+    faults, lazy buffer allocation, cache fill) so the MLUPS column
+    reflects steady-state throughput; the parity column still compares
+    identical total step counts.
     """
     import numpy as np
 
     from ..accel import available_backends
     from ..lattice import get_lattice
-    from ..solver import periodic_problem
+    from ..solver import forced_channel_problem, periodic_problem
     from ..validation import taylor_green_fields
 
+    if problem not in ("periodic", "forced-channel", "power-law"):
+        raise ValueError(
+            f"problem must be 'periodic', 'forced-channel' or 'power-law', "
+            f"got {problem!r}")
     lat = get_lattice(lattice)
     if shape is None:
         shape = _default_shape(lat.d)
     if backends is None:
         backends = available_backends()
+        if problem != "periodic":
+            backends = tuple(b for b in backends if b != "numba")
 
-    if lat.d == 2:
-        nu = lat.viscosity(tau)
-        rho0, u0 = taylor_green_fields(shape, 0.0, nu, u_max)
-    else:
-        # Smooth deterministic shear field so the run is not a trivial
-        # rest state (throughput is data-independent, parity is not).
-        x = [np.linspace(0.0, 2.0 * np.pi, s, endpoint=False) for s in shape]
-        mesh = np.meshgrid(*x, indexing="ij")
-        rho0 = 1.0
-        u0 = np.zeros((lat.d, *shape))
-        for a in range(lat.d):
-            u0[a] = u_max * np.sin(mesh[(a + 1) % lat.d])
+    rho0 = u0 = None
+    if problem == "periodic":
+        if lat.d == 2:
+            nu = lat.viscosity(tau)
+            rho0, u0 = taylor_green_fields(shape, 0.0, nu, u_max)
+        else:
+            # Smooth deterministic shear field so the run is not a trivial
+            # rest state (throughput is data-independent, parity is not).
+            x = [np.linspace(0.0, 2.0 * np.pi, s, endpoint=False)
+                 for s in shape]
+            mesh = np.meshgrid(*x, indexing="ij")
+            rho0 = 1.0
+            u0 = np.zeros((lat.d, *shape))
+            for a in range(lat.d):
+                u0[a] = u_max * np.sin(mesh[(a + 1) % lat.d])
+
+    def build(backend):
+        """Construct the selected problem on one backend."""
+        if problem == "periodic":
+            return periodic_problem(scheme, lattice, shape, tau,
+                                    rho0=rho0, u0=u0, backend=backend)
+        if problem == "forced-channel":
+            return forced_channel_problem(scheme, lattice, shape, tau=tau,
+                                          u_max=u_max, backend=backend)
+        return _power_law_channel(lattice, shape, tau, u_max, backend)
 
     rows = []
     reference_state = None
     reference_mlups = None
     for backend in backends:
-        solver = periodic_problem(scheme, lattice, shape, tau,
-                                  rho0=rho0, u0=u0, backend=backend)
+        solver = build(backend)
+        if warmup_steps > 0:
+            solver.run(int(warmup_steps))
         tel = Telemetry(record_spans=False)
         solver.attach_telemetry(tel)
         solver.run(int(steps))
@@ -246,7 +311,8 @@ def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
         })
 
     return {
-        "scheme": scheme.upper(),
+        "scheme": "MR-P-PL" if problem == "power-law" else scheme.upper(),
+        "problem": problem,
         "lattice": lat.name,
         "shape": list(shape),
         "tau": tau,
@@ -258,8 +324,9 @@ def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
 def format_backend_comparison(result: dict) -> str:
     """Render one :func:`compare_backends` result as a fixed-width table."""
     shape = "x".join(str(s) for s in result["shape"])
+    problem = result.get("problem", "periodic")
     lines = [
-        f"{result['scheme']} / {result['lattice']} on {shape}, "
+        f"{result['scheme']} / {result['lattice']} on {shape} ({problem}), "
         f"tau = {result['tau']}, {result['steps']} steps per backend",
         "",
         f"  {'backend':<12s} {'MLUPS':>10s} {'speedup':>9s} "

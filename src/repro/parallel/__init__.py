@@ -26,7 +26,11 @@ from .decomposition import (
     SlabDecomposition,
 )
 from .faults import FAULT_KINDS, FaultInjected, FaultSpec, normalize_fault
-from .presets import distributed_channel_problem, distributed_periodic_problem
+from .presets import (
+    distributed_channel_problem,
+    distributed_forced_channel_problem,
+    distributed_periodic_problem,
+)
 from .runtime import (
     ParallelRuntimeError,
     ProcessRunResult,
@@ -43,6 +47,7 @@ __all__ = [
     "DistributedST",
     "DistributedMR",
     "distributed_channel_problem",
+    "distributed_forced_channel_problem",
     "distributed_periodic_problem",
     "RunSpec",
     "ProcessRuntime",

@@ -212,11 +212,6 @@ class DistributedSolver:
                 f"got {accel!r} (the numba backend handles single-domain "
                 f"periodic problems only)"
             )
-        if accel == "fused" and force is not None:
-            raise ValueError(
-                "accel='fused' does not support body forcing; "
-                "use accel='reference'"
-            )
         self.accel = accel
 
         rho_g = np.broadcast_to(np.asarray(rho0, dtype=np.float64),
@@ -415,7 +410,7 @@ class DistributedST(DistributedSolver):
                 solid = state.domain.solid_mask
                 state.accel_solid = solid if solid.any() else None
             core.step(state.f, state.scratch, state.boundaries,
-                      state.accel_solid)
+                      state.accel_solid, force=state.force)
             return
         stream_pull(lat, state.f, out=state.scratch)
         for b in state.boundaries:
@@ -504,7 +499,8 @@ class DistributedMR(DistributedSolver):
                     f_scratch=state.scratch)
                 solid = state.domain.solid_mask
                 state.accel_solid = solid if solid.any() else None
-            core.step(state.m, state.boundaries, state.accel_solid)
+            core.step(state.m, state.boundaries, state.accel_solid,
+                      force=state.force)
             return
         if self.scheme == "MR-P":
             m_star = collide_moments_projective(lat, state.m, self.tau,

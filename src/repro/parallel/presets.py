@@ -10,7 +10,8 @@ from ..lattice import LatticeDescriptor, get_lattice
 from ..solver.presets import channel_inlet_profile
 from .decomposition import DistributedMR, DistributedST, DistributedSolver
 
-__all__ = ["distributed_channel_problem", "distributed_periodic_problem"]
+__all__ = ["distributed_channel_problem", "distributed_periodic_problem",
+           "distributed_forced_channel_problem"]
 
 
 def _make(scheme: str, lat, domain, tau, n_ranks, periodic, factory,
@@ -55,6 +56,32 @@ def distributed_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
     u0[:] = u_in[(slice(None), None) + (slice(None),) * (lat.d - 1)]
     return _make(scheme, lat, domain, tau, n_ranks, periodic=False,
                  factory=factory, u0=u0, **kwargs)
+
+
+def distributed_forced_channel_problem(
+        scheme: str, lattice: str | LatticeDescriptor,
+        shape: tuple[int, ...], n_ranks: int, tau: float = 0.8,
+        u_max: float = 0.04, **kwargs) -> DistributedSolver:
+    """Body-force-driven channel decomposed into streamwise slabs.
+
+    Mirrors :func:`repro.solver.presets.forced_channel_problem`: periodic
+    along the streamwise axis (wrap-around halo exchange), bounce-back
+    walls on every rank, and a uniform body force sized so the steady
+    Poiseuille/duct flow peaks near ``u_max``. With ``accel="fused"``
+    every rank steps its slab through the fused forced kernels.
+    """
+    lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
+    if len(shape) != lat.d:
+        raise ValueError(f"shape {shape} does not match lattice dimension {lat.d}")
+    domain = (channel_2d(*shape, with_io=False) if lat.d == 2
+              else channel_3d(*shape, with_io=False))
+    h = shape[1] - 2
+    nu = lat.viscosity(tau)
+    force = np.zeros(lat.d)
+    force[0] = 8.0 * nu * u_max / (h * h)
+    return _make(scheme, lat, domain, tau, n_ranks, periodic=True,
+                 factory=lambda r, t: [HalfwayBounceBack()], force=force,
+                 **kwargs)
 
 
 def distributed_periodic_problem(scheme: str, lattice: str | LatticeDescriptor,

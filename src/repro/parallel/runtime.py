@@ -70,7 +70,11 @@ from ..io.checkpoint import (
 from ..obs.merge import merge_rank_reports
 from .decomposition import CommunicationReport, DistributedSolver
 from .faults import FaultSpec, normalize_fault
-from .presets import distributed_channel_problem, distributed_periodic_problem
+from .presets import (
+    distributed_channel_problem,
+    distributed_forced_channel_problem,
+    distributed_periodic_problem,
+)
 
 __all__ = [
     "RunSpec",
@@ -98,7 +102,8 @@ class RunSpec:
     Parameters
     ----------
     kind:
-        ``"channel"`` (the paper's proxy app) or ``"periodic"``.
+        ``"channel"`` (the paper's proxy app), ``"forced-channel"``
+        (body-force-driven, streamwise-periodic) or ``"periodic"``.
     scheme:
         ``"ST"``, ``"MR-P"`` or ``"MR-R"``.
     lattice:
@@ -191,6 +196,10 @@ class RunSpec:
         """Construct the emulated solver this spec describes."""
         if self.kind == "channel":
             return distributed_channel_problem(
+                self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
+                tau=self.tau, accel=self.accel, **self.options)
+        if self.kind == "forced-channel":
+            return distributed_forced_channel_problem(
                 self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
                 tau=self.tau, accel=self.accel, **self.options)
         if self.kind == "periodic":

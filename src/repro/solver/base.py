@@ -67,9 +67,10 @@ class Solver(ABC):
         scheme's own step method), ``"fused"`` (pure-NumPy fused
         kernels) or ``"numba"`` (JIT kernels, optional extra). Fast
         backends reproduce the reference trajectory to machine
-        precision; see :mod:`repro.accel`. The backend name is checked
-        here; solver/feature compatibility is checked when the first
-        step builds the stepper.
+        precision; see :mod:`repro.accel`. Both the backend name and
+        the solver/feature compatibility matrix are checked eagerly at
+        construction time (:func:`repro.accel.validate_backend`), so an
+        unsupported combination never fails mid-run.
     """
 
     #: short scheme label used by benchmarks ("ST", "MR-P", "MR-R")
@@ -137,6 +138,14 @@ class Solver(ABC):
         u_init = np.array(u_init)
         u_init[:, solid] = 0.0
         self._initialize(rho_init, u_init)
+        # Fail fast: check the solver/backend feature matrix now, not on
+        # the first step. Subclasses that finish configuring themselves
+        # after this constructor (e.g. STSolver's collision operator)
+        # re-validate once configured — still construction time.
+        if self.backend != "reference":
+            from ..accel import validate_backend
+
+            validate_backend(self)
 
     # -- scheme-specific ------------------------------------------------
     @abstractmethod
@@ -150,10 +159,10 @@ class Solver(ABC):
     def step(self) -> None:
         """Advance one timestep via the selected execution backend.
 
-        The fast-path stepper is built lazily on the first step (solver
-        subclasses finish configuring themselves after the base
-        constructor runs), so unsupported backend/solver combinations
-        raise here rather than silently falling back.
+        The fast-path stepper object is built lazily on the first step,
+        but the solver/backend compatibility matrix was already checked
+        at construction time, so building it cannot fail for a solver
+        that constructed successfully.
         """
         if self.backend == "reference":
             self._step_reference()

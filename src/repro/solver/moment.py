@@ -85,6 +85,8 @@ class MRPSolver(_MomentSolver):
     """
 
     name = "MR-P"
+    #: Fast-path opt-in (see :mod:`repro.accel`).
+    accel_caps = {"family": "mr", "scheme": "MR-P"}
 
     def __init__(self, *args, tau_bulk: float | None = None, **kwargs):
         self.tau_bulk = tau_bulk
@@ -106,6 +108,8 @@ class MRRSolver(_MomentSolver):
     """
 
     name = "MR-R"
+    #: Fast-path opt-in (see :mod:`repro.accel`).
+    accel_caps = {"family": "mr", "scheme": "MR-R"}
 
     def _post_collision_f(self) -> np.ndarray:
         return collide_moments_recursive(self.lat, self.m, self.tau,

@@ -51,6 +51,9 @@ class PowerLawMRPSolver(MRPSolver):
     """
 
     name = "MR-P-PL"
+    #: Fast-path opt-in (see :mod:`repro.accel`): MR-P kernels with the
+    #: per-node ``tau_field`` collision path.
+    accel_caps = {"family": "mr", "scheme": "MR-P", "variable_tau": True}
 
     def __init__(self, *args, consistency: float = 0.1, exponent: float = 1.0,
                  nu_bounds: tuple[float, float] | None = None, **kwargs):
@@ -67,10 +70,21 @@ class PowerLawMRPSolver(MRPSolver):
         self.nu_bounds = (float(nu_bounds[0]), float(nu_bounds[1]))
         super().__init__(*args, **kwargs)
         self.tau_field = np.full(self.domain.shape, self.tau)
+        # Scratch buffers for the per-step relaxation update; this runs on
+        # every node every step (in both the reference and the fused
+        # backend), so it is written allocation-free.
+        self._gamma_buf = np.empty(self.domain.shape)
+        self._pair_buf = np.empty(self.domain.shape)
+        self._inv_buf = np.empty(self.domain.shape)
+        self._tau_next = np.empty(self.domain.shape)
 
     def _shear_rate(self) -> np.ndarray:
         """``gamma = sqrt(2 S:S)`` from the stored moments, using the
-        current relaxation field (explicit linearization)."""
+        current relaxation field (explicit linearization).
+
+        Returns the internal ``gamma`` scratch buffer — callers must not
+        hold it across steps.
+        """
         lat = self.lat
         rho, j, pi_cols = split_moments(lat, self.m)
         if self.force is None:
@@ -79,42 +93,66 @@ class PowerLawMRPSolver(MRPSolver):
             from ..core.forcing import half_force_velocity
 
             u = half_force_velocity(lat, rho, j, self.force)
-        s_sq = np.zeros(self.domain.shape)
-        denom = -2.0 * rho * lat.cs2 * self.tau_field
+        # s_ab = pi_neq / (-2 rho cs2 tau)  =>  accumulate
+        # s_sq += mult * pi_neq^2 * inv  with  inv = 1 / denom^2
+        # (one division for the whole field instead of one per pair).
+        inv = self._inv_buf
+        np.multiply(rho, self.tau_field, out=inv)
+        inv *= 2.0 * lat.cs2
+        inv *= inv
+        np.divide(1.0, inv, out=inv)
+        s_sq = self._gamma_buf
+        s_sq[:] = 0.0
+        tmp = self._pair_buf
         for k, (a, b) in enumerate(lat.pair_tuples):
-            pi_neq = pi_cols[k] - rho * u[a] * u[b]
-            s_ab = pi_neq / denom
-            mult = 1.0 if a == b else 2.0
-            s_sq += mult * s_ab * s_ab
-        return np.sqrt(2.0 * s_sq)
+            np.multiply(u[a], u[b], out=tmp)
+            tmp *= rho
+            np.subtract(pi_cols[k], tmp, out=tmp)   # pi_neq
+            tmp *= tmp
+            tmp *= inv                              # s_ab^2
+            if a != b:
+                tmp *= 2.0
+            s_sq += tmp
+        s_sq *= 2.0
+        return np.sqrt(s_sq, out=s_sq)
 
     def _update_relaxation(self) -> None:
         gamma = self._shear_rate()
-        with np.errstate(divide="ignore"):
-            nu = self.consistency * np.where(
-                gamma > 0, gamma, np.inf
-            ) ** (self.exponent - 1.0)
-        if self.exponent < 1.0:
-            nu = np.where(gamma > 0, nu, self.nu_bounds[1])
-        elif self.exponent > 1.0:
-            nu = np.where(gamma > 0, nu, self.nu_bounds[0])
+        tau = self._tau_next
+        if self.exponent == 1.0:
+            tau[:] = self.consistency / self.lat.cs2 + 0.5
         else:
-            nu = np.full(self.domain.shape, self.consistency)
-        nu = np.clip(nu, *self.nu_bounds)
-        self.tau_field = nu / self.lat.cs2 + 0.5
-        self.tau_field[self.domain.solid_mask] = self.tau
+            still = gamma == 0.0
+            # inf ** (n-1 < 0) -> 0; the resting-node values are replaced
+            # by the stability bound below either way.
+            gamma[still] = np.inf
+            np.power(gamma, self.exponent - 1.0, out=gamma)
+            gamma *= self.consistency
+            gamma[still] = (self.nu_bounds[1] if self.exponent < 1.0
+                            else self.nu_bounds[0])
+            np.clip(gamma, *self.nu_bounds, out=gamma)
+            np.divide(gamma, self.lat.cs2, out=tau)
+            tau += 0.5
+        tau[self.domain.solid_mask] = self.tau
+        # Swap rather than copy: previous field becomes next step's scratch.
+        self.tau_field, self._tau_next = tau, self.tau_field
 
     def _post_collision_f(self) -> np.ndarray:
-        from ..core.collision import collide_moments_projective
-
         self._update_relaxation()
         m_star = _collide_variable_tau(self.lat, self.m, self.tau_field,
                                        force=self.force)
         return f_from_moments(self.lat, m_star)
 
     def apparent_viscosity(self) -> np.ndarray:
-        """Current apparent kinematic viscosity field."""
-        return self.lat.cs2 * (self.tau_field - 0.5)
+        """Current apparent kinematic viscosity field (NaN inside solids).
+
+        The relaxation field carries the Newtonian seed value inside
+        walls (a numerical placeholder, not a fluid property), so solid
+        nodes are masked out rather than reported as viscosity.
+        """
+        nu = self.lat.cs2 * (self.tau_field - 0.5)
+        nu[self.domain.solid_mask] = np.nan
+        return nu
 
 
 def _collide_variable_tau(lat: LatticeDescriptor, m: np.ndarray,

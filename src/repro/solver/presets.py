@@ -114,7 +114,8 @@ def channel_problem(scheme: str, lattice: str | LatticeDescriptor,
 
 def forced_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
                            shape: tuple[int, ...], tau: float = 0.8,
-                           u_max: float = 0.05) -> Solver:
+                           u_max: float = 0.05,
+                           backend: str = "reference") -> Solver:
     """Body-force-driven channel: periodic streamwise, bounce-back walls.
 
     The force magnitude is chosen so the steady plane-Poiseuille (2D) or
@@ -122,6 +123,8 @@ def forced_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
     ``F = 8 nu u_max / H^2`` with ``H`` the wall-to-wall width (for the 3D
     duct this slightly overshoots the plane-channel formula, as expected).
     Uses the projected Guo forcing for MR schemes and classical Guo for ST.
+    ``backend`` selects the execution backend (see :mod:`repro.accel`);
+    the fused kernels fold the Guo source into the collide stage.
     """
     import numpy as np
 
@@ -137,13 +140,15 @@ def forced_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
     force = np.zeros(lat.d)
     force[0] = 8.0 * nu * u_max / (h * h)
     return make_solver(scheme, lat, domain, tau,
-                       boundaries=[HalfwayBounceBack()], force=force)
+                       boundaries=[HalfwayBounceBack()], force=force,
+                       backend=backend)
 
 
 def periodic_problem(scheme: str, lattice: str | LatticeDescriptor,
                      shape: tuple[int, ...], tau: float = 0.8,
                      rho0: np.ndarray | float = 1.0,
                      u0: np.ndarray | None = None,
+                     force: np.ndarray | None = None,
                      backend: str = "reference") -> Solver:
     """Fully periodic box (no boundaries) — e.g. for Taylor-Green vortices."""
     from ..geometry import periodic_box
@@ -152,4 +157,4 @@ def periodic_problem(scheme: str, lattice: str | LatticeDescriptor,
     if len(shape) != lat.d:
         raise ValueError(f"shape {shape} does not match lattice dimension {lat.d}")
     return make_solver(scheme, lat, periodic_box(shape), tau, rho0=rho0, u0=u0,
-                       backend=backend)
+                       force=force, backend=backend)

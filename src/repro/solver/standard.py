@@ -26,6 +26,9 @@ class STSolver(Solver):
     """
 
     name = "ST"
+    #: Fast-path opt-in (see :mod:`repro.accel`). The kernels hard-code
+    #: plain BGK; non-BGK collisions are caught by ``validate_backend``.
+    accel_caps = {"family": "st"}
 
     def __init__(self, *args, collision: CollisionOperator | None = None, **kwargs):
         self._collision_override = collision
@@ -42,6 +45,13 @@ class STSolver(Solver):
                 "(classical Guo) and TRT (parity-split Guo) collisions; "
                 "use MR-P/MR-R for regularized forced collisions"
             )
+        # The base constructor validated before ``collision`` existed;
+        # re-check now that the operator is known (still construction
+        # time, so non-BGK + fast backend fails here, not mid-run).
+        if self.backend != "reference":
+            from ..accel import validate_backend
+
+            validate_backend(self)
 
     def _initialize(self, rho: np.ndarray, u: np.ndarray) -> None:
         feq, _ = self._equilibrium_state(rho, u)

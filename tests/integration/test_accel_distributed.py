@@ -11,6 +11,8 @@ def build_spec(kind, scheme, ranks, accel="reference"):
     shape = (30, 18)
     if kind == "channel":
         opts = {"u_max": 0.04, "bc_method": "nebb"}
+    elif kind == "forced-channel":
+        opts = {"u_max": 0.04}
     else:
         nu = (0.8 - 0.5) / 3.0
         rho0, u0 = taylor_green_fields(shape, 0.0, nu, 0.04)
@@ -20,7 +22,7 @@ def build_spec(kind, scheme, ranks, accel="reference"):
 
 
 class TestEmulatedFusedParity:
-    @pytest.mark.parametrize("kind", ["channel", "periodic"])
+    @pytest.mark.parametrize("kind", ["channel", "periodic", "forced-channel"])
     @pytest.mark.parametrize("scheme", ["ST", "MR-P", "MR-R"])
     def test_matches_reference_ranks(self, kind, scheme):
         """Per-rank fused cores reproduce the reference slab trajectory."""
@@ -47,6 +49,21 @@ class TestEmulatedFusedParity:
     def test_numba_rejected_for_distributed(self):
         with pytest.raises(ValueError, match="numba"):
             build_spec("channel", "ST", 2, accel="numba").build()
+
+    @pytest.mark.parametrize("scheme", ["ST", "MR-P", "MR-R"])
+    def test_forced_channel_matches_single_domain(self, scheme):
+        """The distributed forced channel reproduces the single solver."""
+        from repro.solver import forced_channel_problem
+
+        dist = build_spec("forced-channel", scheme, 3, accel="fused").build()
+        ref = forced_channel_problem(scheme, "D2Q9", (30, 18), tau=0.8,
+                                     u_max=0.04)
+        dist.run(15)
+        ref.run(15)
+        rho_d, u_d = dist.gather_macroscopic()
+        rho_r, u_r = ref.macroscopic()
+        assert np.abs(rho_d - rho_r).max() < 1e-13
+        assert np.abs(u_d - u_r).max() < 1e-13
 
 
 class TestProcessFused:

@@ -65,7 +65,6 @@ class TestAnalyticProfiles:
 
     def test_newtonian_limit_matches_mrp(self):
         """n = 1 reproduces the plain MR-P solver exactly at steady state."""
-        from repro.solver import MRPSolver
         from repro.validation import poiseuille_profile
 
         solver = run_power_law(1.0, 0.05, 0.02)

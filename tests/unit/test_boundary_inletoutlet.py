@@ -161,3 +161,48 @@ class TestPressureOutlet:
     def test_bad_tangential(self):
         with pytest.raises(ValueError, match="tangential"):
             PressureOutlet(Plane(0, -1), tangential="mirror")
+
+
+def _thin_domain(nx, ny=6):
+    """A hand-built channel thinner than the factories allow."""
+    from repro.geometry import SOLID, Domain
+
+    nt = np.zeros((nx, ny), dtype=np.int8)
+    nt[:, 0] = SOLID
+    nt[:, -1] = SOLID
+    return Domain(nt)
+
+
+class TestThinDomainGuard:
+    """regularized-fd needs >= 3 planes along the face axis at bind time.
+
+    Its one-sided finite difference reads two interior planes; on a
+    thinner domain ``face_index(offset=2)`` silently wraps to the face
+    itself and produced garbage strain rates. The guard turns that into
+    a bind-time error.
+    """
+
+    @pytest.mark.parametrize("make_bc", [
+        lambda: VelocityInlet(Plane(0, 0), (0.03, 0.0),
+                              method="regularized-fd"),
+        lambda: PressureOutlet(Plane(0, -1), method="regularized-fd"),
+    ])
+    def test_fd_rejected_on_two_plane_domain(self, d2q9, make_bc):
+        domain = _thin_domain(2)
+        with pytest.raises(ValueError, match="at least 3 planes"):
+            make_bc().bind(d2q9, domain, 0.8)
+
+    def test_fd_accepted_on_three_plane_domain(self, d2q9):
+        domain = channel_2d(3, 6)
+        VelocityInlet(Plane(0, 0), (0.03, 0.0),
+                      method="regularized-fd").bind(d2q9, domain, 0.8)
+
+    def test_nebb_still_works_on_thin_domain(self, d2q9):
+        """NEBB reads only the face plane, so thin domains stay legal."""
+        domain = _thin_domain(2)
+        inlet = VelocityInlet(Plane(0, 0), (0.03, 0.0),
+                              method="nebb").bind(d2q9, domain, 0.8)
+        f_star = equilibrium(d2q9, np.ones(domain.shape),
+                             np.zeros((2, *domain.shape)))
+        f_new = stream_push(d2q9, f_star)
+        inlet.post_stream(d2q9, f_new, f_star)

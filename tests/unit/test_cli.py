@@ -80,6 +80,33 @@ class TestCommands:
         assert rc == 0
         assert "2 rank(s)" in capsys.readouterr().out
 
+    def test_run_forced_channel(self, capsys):
+        rc = main(["run", "--problem", "forced-channel", "--scheme", "MR-P",
+                   "--shape", "20,12", "--steps", "8", "--accel", "fused",
+                   "--report-interval", "4"])
+        assert rc == 0
+        assert "MR-P" in capsys.readouterr().out
+
+    def test_run_forced_channel_distributed(self, capsys):
+        rc = main(["run", "--problem", "forced-channel", "--scheme", "ST",
+                   "--shape", "24,12", "--steps", "4", "--ranks", "2"])
+        assert rc == 0
+        assert "2 rank(s)" in capsys.readouterr().out
+
+    def test_unsupported_accel_exits_2(self, capsys):
+        """Backend rejections surface as a clean exit-2 error, no traceback."""
+        rc = main(["run", "--problem", "channel", "--scheme", "ST",
+                   "--shape", "24,10", "--steps", "4", "--accel", "numba"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("ERROR:")
+
+    def test_unsupported_accel_distributed_exits_2(self, capsys):
+        rc = main(["run", "--scheme", "ST", "--shape", "24,10", "--steps", "4",
+                   "--ranks", "2", "--accel", "numba"])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("ERROR:")
+
     def test_run_vtk_output(self, tmp_path):
         out_file = tmp_path / "final.vtk"
         main(["run", "--scheme", "ST", "--shape", "16,8", "--steps", "5",

@@ -177,7 +177,8 @@ class TestBackendComparison:
         assert rc == 0
         assert "accel = fused" in capsys.readouterr().out
 
-    def test_run_distributed_rejects_numba(self):
-        with pytest.raises(SystemExit):
-            main(["run", "--scheme", "ST", "--shape", "24,10", "--steps", "2",
-                  "--ranks", "2", "--accel", "numba"])
+    def test_run_distributed_rejects_numba(self, capsys):
+        rc = main(["run", "--scheme", "ST", "--shape", "24,10", "--steps", "2",
+                   "--ranks", "2", "--accel", "numba"])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("ERROR:")

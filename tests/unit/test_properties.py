@@ -25,8 +25,9 @@ tighter).
 import numpy as np
 import pytest
 
-from repro.accel import available_backends, stream_gather
+from repro.accel import FusedMRCore, available_backends, stream_gather
 from repro.core.equilibrium import equilibrium
+from repro.core.forcing import guo_source
 from repro.core.moments import f_from_moments, macroscopic, moments_from_f
 from repro.core.regularization import (
     hermite_delta_higher_order,
@@ -195,6 +196,95 @@ class TestStreamingInverse:
         lat = get_lattice(lattice)
         _, _, f = _random_state(lat, seed)
         assert np.array_equal(stream_gather(lat, f), stream_push(lat, f))
+
+
+@pytest.mark.parametrize("lattice", LATTICES)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestForceProjection:
+    """Algebraic content of the Guo forcing used by every forced path.
+
+    The fused kernels fold the source into collision rather than calling
+    :func:`guo_source`, so these properties pin down the shared contract:
+    the source carries no mass, ``(1 - 1/(2 tau)) F`` momentum, and the
+    symmetrized ``(1 - 1/(2 tau)) (u_a F_b + u_b F_a)`` second moment.
+    """
+
+    TAU = 0.8
+
+    def _u_and_force(self, lat, seed):
+        rng = np.random.default_rng(seed)
+        grid = _grid(lat)
+        u = 0.05 * rng.standard_normal((lat.d, *grid))
+        force = 1e-4 * rng.standard_normal((lat.d, *grid))
+        return u, force
+
+    def test_guo_source_moment_content(self, lattice, seed):
+        lat = get_lattice(lattice)
+        u, force = self._u_and_force(lat, seed)
+        src = guo_source(lat, u, force, self.TAU)
+        pref = 1.0 - 0.5 / self.TAU
+        c = lat.c.astype(np.float64)
+
+        mass = src.sum(axis=0)
+        mom = np.einsum("qa,q...->a...", c, src)
+        second = np.einsum("qa,qb,q...->ab...", c, c, src)
+        expected = pref * (np.einsum("a...,b...->ab...", u, force)
+                           + np.einsum("b...,a...->ab...", u, force))
+
+        assert np.abs(mass).max() < TOL
+        assert np.abs(mom - pref * force).max() < TOL
+        assert np.abs(second - expected).max() < TOL
+
+    def test_guo_source_raw_is_unscaled(self, lattice, seed):
+        """``tau=None`` strips exactly the BGK ``1 - 1/(2 tau)`` prefactor."""
+        lat = get_lattice(lattice)
+        u, force = self._u_and_force(lat, seed)
+        scaled = guo_source(lat, u, force, self.TAU)
+        raw = guo_source(lat, u, force, None)
+        pref = 1.0 - 0.5 / self.TAU
+        assert np.abs(scaled - pref * raw).max() < TOL
+
+    @pytest.mark.parametrize("scheme", ["ST", "MR-P", "MR-R"])
+    def test_forced_step_adds_exactly_f_per_node(self, lattice, seed, scheme):
+        """Guo forcing injects momentum ``F`` per node per step, no mass."""
+        lat = get_lattice(lattice)
+        grid = _grid(lat)
+        rng = np.random.default_rng(seed)
+        force = np.zeros(lat.d)
+        force[0] = 2.5e-5
+        solver = periodic_problem(
+            scheme, lattice, grid, self.TAU,
+            rho0=1.0 + 0.02 * rng.standard_normal(grid),
+            u0=0.02 * rng.standard_normal((lat.d, *grid)),
+            force=force)
+        n_nodes = float(np.prod(grid))
+
+        def totals():
+            rho, u = solver.macroscopic()
+            return rho.sum(), (rho * u).sum(axis=tuple(range(1, u.ndim)))
+
+        mass0, mom0 = totals()
+        steps = 3
+        solver.run(steps)
+        mass1, mom1 = totals()
+        assert abs(mass1 - mass0) < TOL * n_nodes
+        expected = mom0 + steps * n_nodes * force
+        assert np.abs(mom1 - expected).max() < TOL * n_nodes
+
+    def test_uniform_tau_field_equals_scalar_tau(self, lattice, seed):
+        """A constant ``tau_field`` reproduces the scalar-tau MR-P kernel."""
+        lat = get_lattice(lattice)
+        grid = _grid(lat)
+        _, _, f = _random_state(lat, seed, grid=grid)
+        m1 = moments_from_f(lat, f)
+        m2 = m1.copy()
+        core_a = FusedMRCore(lat, grid, self.TAU, scheme="MR-P")
+        core_b = FusedMRCore(lat, grid, self.TAU, scheme="MR-P")
+        tau_field = np.full(grid, self.TAU)
+        for _ in range(3):
+            core_a.step(m1, [], None)
+            core_b.step(m2, [], None, tau_field=tau_field)
+        assert np.abs(m1 - m2).max() < TOL
 
 
 @pytest.mark.parametrize("backend", available_backends())
