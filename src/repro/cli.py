@@ -4,6 +4,9 @@ Subcommands
 -----------
 ``run``      Run a channel or Taylor-Green simulation with any scheme.
 ``profile``  Per-phase time/traffic breakdown for a short workload.
+``bench``    Run the standard benchmark matrix, append to the BENCH_*.json
+             trajectory and compare against the stored baseline.
+``watch``    Tail the per-rank JSONL event streams of a (live) run dir.
 ``tables``   Regenerate the paper's Tables 1-4.
 ``figures``  Regenerate the paper's Figures 2-3 (text rendering).
 ``summary``  Regenerate the headline claims (footprint, speedups, MR-R cost).
@@ -34,6 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 
 __all__ = ["main", "build_parser"]
@@ -97,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
                      "reference implementation, the fused NumPy fast "
                      "path, or the numba JIT kernels (optional extra); "
                      "see docs/PERFORMANCE.md")
+    run.add_argument("--events", default=None, metavar="DIR",
+                     help="append per-rank JSONL event streams "
+                     "(heartbeat/progress/phase/checkpoint/watchdog) "
+                     "into DIR; tail them with 'mrlbm watch DIR'")
+    run.add_argument("--events-every", type=int, default=25, metavar="N",
+                     help="event heartbeat cadence in steps (default 25)")
 
     prof = sub.add_parser(
         "profile", help="per-phase time/traffic breakdown for a short workload")
@@ -123,6 +133,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="workload for --accel compare: a periodic box, "
                       "a body-force-driven channel, or the power-law "
                       "(variable-tau) channel")
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark matrix; append to the "
+        "BENCH_<suite>.json trajectory and flag regressions")
+    bench.add_argument("--suite", default="default",
+                       help="suite name (selects the trajectory file)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke matrix: same cells, shrunk "
+                       "shapes/steps, a few seconds total")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="trajectory file (default BENCH_<suite>.json "
+                       "in the current directory)")
+    bench.add_argument("--device", default="V100",
+                       help="modelled GPU for the roofline column")
+    bench.add_argument("--threshold", type=float, default=0.15,
+                       metavar="REL", help="relative regression threshold "
+                       "(widened per cell by the baseline's own spread)")
+    bench.add_argument("--report-only", action="store_true",
+                       help="print regressions but exit 0 (CI smoke mode)")
+    bench.add_argument("--no-append", action="store_true",
+                       help="measure and compare without writing the "
+                       "trajectory")
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="also dump the new records + verdicts as JSON")
+
+    watch = sub.add_parser(
+        "watch", help="tail the per-rank event streams of a run directory")
+    watch.add_argument("run_dir", help="directory holding "
+                       "events-rank*.jsonl streams (see 'mrlbm run "
+                       "--events DIR')")
+    watch.add_argument("--follow", action="store_true",
+                       help="keep tailing until every rank ends (or "
+                       "--timeout expires)")
+    watch.add_argument("--poll", type=float, default=0.5, metavar="S",
+                       help="poll interval in seconds while following")
+    watch.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="give up following after S seconds")
 
     sub.add_parser("tables", help="regenerate paper Tables 1-4")
     fig = sub.add_parser("figures", help="regenerate paper Figures 2-3")
@@ -168,6 +215,8 @@ def _distributed_spec(args, shape):
         "resume_from": args.resume,
         "max_restarts": args.max_restarts,
         "watchdog_every": args.watchdog,
+        "events_dir": getattr(args, "events", None),
+        "events_every": getattr(args, "events_every", 25),
     }
     if args.problem == "channel":
         return RunSpec("channel", args.scheme, args.lattice, shape,
@@ -207,6 +256,9 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
               "ignored for distributed backends", file=sys.stderr)
     if args.watchdog and backend != "process":
         print("note: --watchdog on distributed runs needs the process "
+              "backend; ignored", file=sys.stderr)
+    if getattr(args, "events", None) and backend != "process":
+        print("note: --events on distributed runs needs the process "
               "backend; ignored", file=sys.stderr)
 
     try:
@@ -248,6 +300,15 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
                   f"nodes, {entry['mlups']:.2f} MLUPS")
         print(f"  cohort: {report['mlups']:.2f} MLUPS "
               f"(slowest-rank pace over {report['steps']} steps)")
+        imb = report.get("imbalance")
+        if imb:
+            print(f"  imbalance: slowest/mean = "
+                  f"{imb['imbalance_ratio']:.2f} "
+                  f"(rank {imb['slowest_rank']}), halo-wait share = "
+                  f"{imb['exchange_wait_share']:.1%} of step time")
+        if args.events:
+            print(f"  event streams in {args.events} "
+                  f"(tail with 'mrlbm watch {args.events}')")
     else:
         solver.run(args.steps)
         wall = time.perf_counter() - t0
@@ -340,7 +401,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     telemetry = None
     metrics = None
-    if args.metrics or args.trace:
+    if args.metrics or args.trace or args.events:
         from .obs import Telemetry
 
         telemetry = Telemetry()
@@ -349,6 +410,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .obs import JsonLinesExporter
 
         metrics = JsonLinesExporter(args.metrics)
+
+    emitter = None
+    if args.events:
+        import os as _os
+
+        from .obs import EventStream, RunEventEmitter
+
+        emitter = RunEventEmitter(
+            EventStream(args.events, rank=0),
+            every=args.events_every, n_steps=args.steps,
+            telemetry=telemetry, n_fluid=n_fluid)
+        emitter.start(pid=_os.getpid(), scheme=args.scheme,
+                      lattice=args.lattice, accel=accel,
+                      n_fluid=int(n_fluid))
 
     def report(s):
         elapsed = time.perf_counter() - t0
@@ -365,15 +440,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             })
 
     callback = report
+    hooks = []
     if args.watchdog > 0:
         from .obs import StabilityWatchdog
 
-        watchdog = StabilityWatchdog(
+        hooks.append(StabilityWatchdog(
             every=args.watchdog,
-            telemetry=telemetry if telemetry is not None else None)
-
-        def callback(s, _report=report, _wd=watchdog):
-            _wd(s)
+            telemetry=telemetry if telemetry is not None else None))
+    if emitter is not None:
+        hooks.append(lambda s: emitter.maybe(s.time))
+    if hooks:
+        def callback(s, _report=report, _hooks=tuple(hooks)):
+            for hook in _hooks:
+                hook(s)
             if s.time % args.report_interval == 0:
                 _report(s)
 
@@ -390,13 +469,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             solver.run(args.steps, callback=callback,
                        callback_interval=callback_interval)
+            if emitter is not None:
+                emitter.end(solver.time, steps=solver.time)
         except StabilityError as err:
             import json as _json
 
+            if emitter is not None:
+                emitter.error(solver.time, "StabilityError", str(err))
             print(f"ABORTED: {err}", file=sys.stderr)
             print(_json.dumps(err.report, indent=2), file=sys.stderr)
             return 2
     finally:
+        if emitter is not None:
+            emitter.stream.close()
+            print(f"event stream in {args.events} "
+                  f"(tail with 'mrlbm watch {args.events}')")
         if metrics is not None:
             if telemetry is not None:
                 metrics.write({"summary": telemetry.summary(),
@@ -470,11 +557,116 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(format_profile(result))
     if args.json:
         import json as _json
-        from pathlib import Path
 
         Path(args.json).write_text(_json.dumps(results, indent=2))
         print(f"\nwrote {args.json}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .obs import (
+        append_records,
+        compare_to_baseline,
+        default_suite,
+        format_comparison,
+        format_records,
+        load_trajectory,
+        run_suite,
+        trajectory_path,
+    )
+
+    cells = default_suite(quick=args.quick)
+    mode = "quick" if args.quick else "full"
+    print(f"benchmark suite '{args.suite}' ({mode}, {len(cells)} cells, "
+          f"roofline device {args.device})")
+
+    def progress(record):
+        d = record.to_dict()
+        print(f"  {d['scheme']:8s} {d['lattice']:6s} {d['backend']:9s} "
+              f"{d['problem']:14s} ranks={d['ranks']} -> "
+              f"{d['mlups']:8.2f} MLUPS ({d['attainment']:.0%} of host bw)")
+
+    records = run_suite(cells, suite=args.suite, device=args.device,
+                        progress=progress)
+    print()
+    print(format_records(records))
+
+    path = Path(args.out) if args.out else trajectory_path(args.suite)
+    try:
+        doc = load_trajectory(path)
+    except ValueError as err:
+        print(f"ERROR: corrupt trajectory {path}: {err}", file=sys.stderr)
+        return 2
+    result = compare_to_baseline(doc["records"], records,
+                                 rel_threshold=args.threshold)
+    print()
+    print(format_comparison(result))
+
+    if not args.no_append:
+        append_records(path, records)
+        print(f"\nappended {len(records)} records to {path} "
+              f"({len(doc['records']) + len(records)} total)")
+    if args.json:
+        import json as _json
+
+        Path(args.json).write_text(_json.dumps({
+            "records": [r.to_dict() for r in records],
+            "comparison": result,
+        }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"wrote {args.json}")
+
+    if result["regressions"] and not args.report_only:
+        print(f"\nFAIL: {result['regressions']} regression(s) beyond the "
+              f"noise-aware threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .obs import (
+        event_files,
+        follow_events,
+        format_watch,
+        read_events,
+        summarize_events,
+    )
+
+    run_dir = Path(args.run_dir)
+    if not args.follow and not event_files(run_dir):
+        print(f"ERROR: no events-rank*.jsonl streams under {run_dir} "
+              f"(start a run with --events)", file=sys.stderr)
+        return 2
+
+    if args.follow:
+        events = []
+        try:
+            for event in follow_events(run_dir, poll_s=args.poll,
+                                       timeout_s=args.timeout):
+                events.append(event)
+                kind = event.get("kind")
+                if kind in ("heartbeat", "phase"):
+                    continue        # summarized below; too chatty to echo
+                step = event.get("step")
+                detail = {k: v for k, v in event.items()
+                          if k not in ("ts", "rank", "attempt", "kind",
+                                       "step")}
+                print(f"  rank {event.get('rank', 0):3d} "
+                      f"{kind:>10s} step {step if step is not None else '-':>7} "
+                      f" {detail if detail else ''}")
+        except KeyboardInterrupt:
+            pass
+        summary = summarize_events(events)
+    else:
+        summary = summarize_events(read_events(run_dir))
+
+    if not summary["ranks"]:
+        print(f"no events yet under {run_dir}")
+        return 0
+    print(f"\n{run_dir}: {summary['n_ranks']} rank(s), "
+          f"{'all done' if summary['all_done'] else 'still running'}")
+    print(format_watch(summary))
+    return 1 if any(s["status"] == "error"
+                    for s in summary["ranks"].values()) else 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -512,8 +704,6 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from .bench import (
         figure2_d2q9,
         figure3_d3q19,
@@ -667,6 +857,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "profile": _cmd_profile,
+        "bench": _cmd_bench,
+        "watch": _cmd_watch,
         "tables": _cmd_tables,
         "figures": _cmd_figures,
         "summary": _cmd_summary,

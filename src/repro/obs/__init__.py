@@ -13,9 +13,43 @@ virtual-GPU kernels, the bench harness and the CLI (see
   outputs and checkpoints;
 * :class:`StabilityWatchdog` — cadence-sampled NaN/Inf/over-speed abort
   with a structured report;
-* :func:`profile_scheme` — the harness behind ``mrlbm profile``.
+* :func:`profile_scheme` — the harness behind ``mrlbm profile``;
+* :class:`BenchRecord` / :func:`run_suite` / :func:`compare_to_baseline`
+  — the benchmark trajectory + regression sentinel behind
+  ``mrlbm bench``;
+* :func:`attain_cell` — the roofline attribution join (% of
+  model-predicted ceiling per measured cell);
+* :class:`EventStream` / :func:`follow_events` — the per-rank JSONL
+  event bus behind ``mrlbm watch``.
 """
 
+from .attain import attain_cell, attainment_note, measure_host_bandwidth
+from .bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
+    BenchRecord,
+    append_records,
+    compare_to_baseline,
+    default_suite,
+    format_comparison,
+    format_records,
+    load_trajectory,
+    records_from_comparison,
+    run_cell,
+    run_suite,
+    trajectory_path,
+    validate_record,
+    validate_trajectory,
+)
+from .events import (
+    EventStream,
+    RunEventEmitter,
+    event_files,
+    follow_events,
+    format_watch,
+    read_events,
+    summarize_events,
+)
 from .exporters import (
     JsonLinesExporter,
     read_jsonl,
@@ -54,4 +88,32 @@ __all__ = [
     "format_backend_comparison",
     "PROFILE_SCHEMES",
     "merge_rank_reports",
+    # bench trajectory + regression sentinel
+    "BENCH_SCHEMA_VERSION",
+    "BenchCell",
+    "BenchRecord",
+    "append_records",
+    "compare_to_baseline",
+    "default_suite",
+    "format_comparison",
+    "format_records",
+    "load_trajectory",
+    "records_from_comparison",
+    "run_cell",
+    "run_suite",
+    "trajectory_path",
+    "validate_record",
+    "validate_trajectory",
+    # roofline attribution
+    "attain_cell",
+    "attainment_note",
+    "measure_host_bandwidth",
+    # live run event streams
+    "EventStream",
+    "RunEventEmitter",
+    "event_files",
+    "follow_events",
+    "format_watch",
+    "read_events",
+    "summarize_events",
 ]

@@ -1,0 +1,155 @@
+"""Roofline attribution: join measured throughput to the model ceiling.
+
+A measured MLUPS number by itself cannot distinguish "the code got
+slower" from "this cell was never bandwidth-bound to begin with" — the
+distinction Wittmann et al.'s performance-engineering methodology makes
+by comparing every measurement against a bandwidth model. This module
+performs that join for the bench harness (:mod:`repro.obs.bench`):
+
+* the **bytes-per-FLUP model** comes from :func:`repro.perf.bytes_per_flup`
+  (paper Table 2: ``2Q x 8`` for ST, ``2M x 8`` for MR);
+* the **effective bandwidth** of a measured cell is
+  ``MLUPS x bytes_per_flup`` — what a DRAM profiler would report if the
+  host run were the device run;
+* the **host ceiling** is a measured (and cached) large-array copy
+  bandwidth probe, so "attainment" is the fraction of what *this
+  machine's* memory system can actually move;
+* the **device roofline** (:func:`repro.perf.roofline_mflups`) is kept
+  alongside for comparison with the paper's V100/MI100 tables.
+
+An attainment near 1 means the cell is genuinely memory-bound — a
+regression there is real lost bandwidth. A low attainment means the cell
+is dominated by latency/overhead (small domains, Python dispatch), where
+MLUPS is expected to be noisy and a model-aware comparator should judge
+it more leniently.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = [
+    "measure_host_bandwidth",
+    "attain_cell",
+    "attainment_note",
+]
+
+#: Attainment above this fraction of the host copy bandwidth is treated
+#: as "memory-bound" when classifying a cell (see :func:`attainment_note`).
+BANDWIDTH_BOUND_ATTAINMENT = 0.5
+
+#: Module-level cache of the measured host copy bandwidth (GB/s), so one
+#: bench invocation probes the memory system exactly once.
+_HOST_GBS: float | None = None
+
+
+def measure_host_bandwidth(nbytes: int = 32 * 2**20, repeats: int = 3,
+                           refresh: bool = False) -> float:
+    """Measured host memory copy bandwidth in GB/s (cached).
+
+    Times ``b[:] = a`` over ``nbytes``-sized float64 arrays — one read
+    plus one write stream, the same access structure as the two-lattice
+    LBM step — and takes the best of ``repeats`` passes (minimum time,
+    the standard noise-robust estimator for bandwidth probes). The first
+    call measures; later calls return the cached value unless
+    ``refresh`` is set.
+    """
+    global _HOST_GBS
+    if _HOST_GBS is not None and not refresh:
+        return _HOST_GBS
+    n = max(int(nbytes) // 8, 1)
+    a = np.ones(n, dtype=np.float64)
+    b = np.empty_like(a)
+    b[:] = a                                  # warm both pages
+    best = float("inf")
+    for _ in range(max(int(repeats), 1)):
+        t0 = time.perf_counter()
+        b[:] = a
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    # read + write of n doubles
+    _HOST_GBS = 2 * n * 8 / best / 1e9 if best > 0 else 0.0
+    return _HOST_GBS
+
+
+def _model_scheme(scheme: str) -> str:
+    """Map a bench scheme label onto the ST/MR pattern classes.
+
+    The power-law solver is MR-P based (``MR-P-PL``), so it shares the
+    MR byte model.
+    """
+    key = scheme.upper()
+    if key.startswith("MR"):
+        return "MR"
+    return "ST"
+
+
+def attain_cell(mlups: float, scheme: str, lattice: str,
+                device: str = "V100",
+                host_gbs: float | None = None) -> dict:
+    """Join one measured cell against the roofline/byte model.
+
+    Parameters
+    ----------
+    mlups:
+        Measured million lattice updates per second (host run).
+    scheme, lattice:
+        What was measured; selects the B/F byte model (paper Table 2).
+    device:
+        Modelled GPU for the device-roofline column (paper Table 3).
+    host_gbs:
+        Host memory bandwidth ceiling; measured via
+        :func:`measure_host_bandwidth` when omitted.
+
+    Returns
+    -------
+    dict
+        ``bytes_per_flup`` (model B/F), ``effective_gbs`` (measured
+        MLUPS x B/F), ``host_gbs`` (the ceiling used),
+        ``attainment`` (effective/host, the %-of-ceiling number),
+        ``host_roofline_mlups`` (host ceiling over B/F),
+        ``model_mlups`` (device roofline) and ``bound`` — the
+        classification used by the regression comparator.
+    """
+    from ..gpu.device import get_device
+    from ..lattice import get_lattice
+    from ..perf import bytes_per_flup, roofline_mflups
+
+    lat = get_lattice(lattice)
+    pattern = _model_scheme(scheme)
+    bf = float(bytes_per_flup(lat, pattern))
+    if host_gbs is None:
+        host_gbs = measure_host_bandwidth()
+    effective_gbs = mlups * 1e6 * bf / 1e9
+    attainment = effective_gbs / host_gbs if host_gbs > 0 else 0.0
+    dev = get_device(device)
+    return {
+        "pattern": pattern,
+        "bytes_per_flup": bf,
+        "effective_gbs": effective_gbs,
+        "host_gbs": float(host_gbs),
+        "attainment": attainment,
+        "host_roofline_mlups": (host_gbs * 1e9 / bf / 1e6
+                                if bf > 0 else 0.0),
+        "model_device": dev.name,
+        "model_mlups": roofline_mflups(dev, lat, pattern),
+        "bound": ("bandwidth" if attainment >= BANDWIDTH_BOUND_ATTAINMENT
+                  else "overhead"),
+    }
+
+
+def attainment_note(attainment: float) -> str:
+    """One-line interpretation of an attainment fraction.
+
+    Used by the bench comparator to annotate verdicts: a regression in a
+    bandwidth-bound cell is lost bandwidth; in an overhead-bound cell it
+    is more likely dispatch/latency noise the model says to expect.
+    """
+    if attainment >= BANDWIDTH_BOUND_ATTAINMENT:
+        return (f"bandwidth-bound ({attainment:.0%} of host ceiling): "
+                "a slowdown here is real lost bandwidth")
+    return (f"overhead-bound ({attainment:.0%} of host ceiling): "
+            "model says this cell is latency/dispatch dominated; "
+            "expect noise")

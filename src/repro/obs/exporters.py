@@ -94,7 +94,27 @@ def write_csv_summary(telemetry: Telemetry, path: str | Path) -> Path:
     return path
 
 
-def write_chrome_trace(telemetry: Telemetry, path: str | Path,
+def _normalize_registries(telemetry, pid: int, tid: int) -> list[tuple]:
+    """Normalize the ``telemetry`` argument of :func:`write_chrome_trace`.
+
+    Returns ``[(pid, tid, label, registry), ...]``. Accepts one registry
+    (back-compatible single-process trace), a sequence of registries
+    (index = rank), or a mapping ``{rank: registry}``.
+    """
+    if isinstance(telemetry, Telemetry):
+        return [(pid, tid, None, telemetry)]
+    if isinstance(telemetry, dict):
+        items = sorted(telemetry.items(), key=lambda kv: str(kv[0]))
+        out = []
+        for i, (rank, reg) in enumerate(items):
+            row_pid = rank if isinstance(rank, int) else i
+            out.append((row_pid, 0, f"rank {rank}", reg))
+        return out
+    return [(rank, 0, f"rank {rank}", reg)
+            for rank, reg in enumerate(telemetry)]
+
+
+def write_chrome_trace(telemetry, path: str | Path,
                        pid: int = 0, tid: int = 0) -> Path:
     """Write recorded spans as a Chrome trace-event file.
 
@@ -103,28 +123,46 @@ def write_chrome_trace(telemetry: Telemetry, path: str | Path,
     ``chrome://tracing`` and https://ui.perfetto.dev load directly. Span
     nesting is reconstructed by the viewer from timestamps; the full
     hierarchical path is kept in ``args.path``.
+
+    ``telemetry`` is either one :class:`Telemetry` registry (a
+    single-process trace on ``pid``/``tid``), or the per-rank registries
+    of a distributed run — a sequence (index = rank) or a mapping
+    ``{rank: registry}``. Multi-rank traces emit one ``pid`` row per rank
+    plus ``process_name`` metadata, so Perfetto shows the ranks stacked
+    and the exchange/barrier spans aligned across the cohort.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    rows = _normalize_registries(telemetry, pid, tid)
     events = []
-    for span in telemetry.spans:
-        events.append({
-            "name": span.name.rpartition("/")[2],
-            "cat": "phase",
-            "ph": "X",
-            "ts": span.start * 1e6,
-            "dur": span.duration * 1e6,
-            "pid": pid,
-            "tid": tid,
-            "args": {"path": span.name, "depth": span.depth},
-        })
+    other: dict = {"counters": {}, "gauges": {}}
+    for row_pid, row_tid, label, registry in rows:
+        if label is not None:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": row_pid,
+                "tid": row_tid, "args": {"name": label},
+            })
+        for span in registry.spans:
+            events.append({
+                "name": span.name.rpartition("/")[2],
+                "cat": "phase",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": row_pid,
+                "tid": row_tid,
+                "args": {"path": span.name, "depth": span.depth},
+            })
+        if label is None:
+            other["counters"] = dict(registry.counters)
+            other["gauges"] = dict(registry.gauges)
+        else:
+            other["counters"][label] = dict(registry.counters)
+            other["gauges"][label] = dict(registry.gauges)
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "counters": dict(telemetry.counters),
-            "gauges": dict(telemetry.gauges),
-        },
+        "otherData": other,
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)

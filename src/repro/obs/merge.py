@@ -10,6 +10,14 @@ and MLUPS is derived both per rank and for the whole cohort (total
 interior fluid nodes x steps over the slowest rank's wall time — the
 barrier makes the slowest rank the cohort's pace).
 
+The merged report also attributes *where the cohort's time went*
+(``report["imbalance"]``): per-rank halo-exchange wait time (the barrier
+phases of the SPMD loop), the share of each rank's step time spent
+waiting, and the load-imbalance ratio (slowest rank wall time over the
+mean). A high wait share with a ratio near 1 means the exchange itself is
+expensive; a high wait share with a high ratio means one rank is the
+straggler and the others wait for it at every barrier.
+
 The merged report is what ``mrlbm run --backend process`` prints and what
 ``--metrics`` exports; ``docs/PARALLEL.md`` documents how to read it.
 """
@@ -39,6 +47,57 @@ def _merge_phases(summaries: list[dict]) -> dict:
     return merged
 
 
+def _rank_wait_s(rep: dict) -> float:
+    """Halo-exchange wait seconds of one rank.
+
+    Prefers the worker's explicit ``exchange_wait_s`` field; falls back
+    to the ``step/barrier`` phase total in the rank's telemetry summary
+    (the two barrier waits of the SPMD step are exactly the time this
+    rank spent blocked on its siblings).
+    """
+    if "exchange_wait_s" in rep:
+        return float(rep["exchange_wait_s"] or 0.0)
+    phases = rep.get("summary", {}).get("phases", {})
+    return float(phases.get("step/barrier", {}).get("total_s", 0.0))
+
+
+def _imbalance(reports: list[dict]) -> dict:
+    """Load-imbalance and exchange-wait attribution across ranks.
+
+    All ratios degrade to 0/1 sentinels (never a ZeroDivisionError) on
+    empty cohorts, missing ``wall_s`` or zero-step ranks.
+    """
+    walls = [float(rep.get("wall_s") or 0.0) for rep in reports]
+    waits = [_rank_wait_s(rep) for rep in reports]
+    total_wall = sum(walls)
+    mean_wall = total_wall / len(walls) if walls else 0.0
+    slowest = max(walls, default=0.0)
+    per_rank = [
+        {
+            "rank": rep.get("rank"),
+            "wall_s": wall,
+            "exchange_wait_s": wait,
+            "exchange_wait_share": (wait / wall) if wall > 0 else 0.0,
+        }
+        for rep, wall, wait in zip(reports, walls, waits)
+    ]
+    slowest_rank = None
+    if walls and slowest > 0:
+        slowest_rank = reports[walls.index(slowest)].get("rank")
+    return {
+        "wall_s_mean": mean_wall,
+        "wall_s_slowest": slowest,
+        "slowest_rank": slowest_rank,
+        # slowest/mean: 1.0 is perfectly balanced; the barrier makes the
+        # whole cohort pay (ratio - 1) of the mean step time every step.
+        "imbalance_ratio": (slowest / mean_wall) if mean_wall > 0 else 1.0,
+        "exchange_wait_s": sum(waits),
+        "exchange_wait_share": (sum(waits) / total_wall)
+        if total_wall > 0 else 0.0,
+        "per_rank": per_rank,
+    }
+
+
 def merge_rank_reports(per_rank: list[dict],
                        wall_s: float | None = None) -> dict:
     """Merge the per-rank worker reports of one distributed run.
@@ -51,6 +110,8 @@ def merge_rank_reports(per_rank: list[dict],
         :meth:`~repro.parallel.decomposition.CommunicationReport.to_dict`
         snapshot) and ``summary`` (a
         :meth:`~repro.obs.telemetry.Telemetry.summary` snapshot).
+        Missing keys degrade to zeros — a partial cohort (or an empty
+        list) still merges into a well-formed report.
     wall_s:
         Parent-measured wall time of the whole run (startup included);
         kept alongside the in-loop timings when given.
@@ -59,13 +120,15 @@ def merge_rank_reports(per_rank: list[dict],
     -------
     dict
         JSON-serializable report with aggregated ``phases``,
-        ``counters``, ``comm``, per-rank and cohort ``mlups``, and the
-        original ``per_rank`` records for drill-down.
+        ``counters``, ``comm``, per-rank and cohort ``mlups``, the
+        ``imbalance`` attribution block (see :func:`_imbalance`), and
+        the original ``per_rank`` records for drill-down.
     """
-    reports = sorted(per_rank, key=lambda rep: rep.get("rank", 0))
-    steps = max((rep.get("steps", 0) for rep in reports), default=0)
-    n_fluid_total = sum(rep.get("n_fluid", 0) for rep in reports)
-    slowest = max((rep.get("wall_s", 0.0) for rep in reports), default=0.0)
+    reports = sorted(per_rank, key=lambda rep: rep.get("rank") or 0)
+    steps = max((rep.get("steps") or 0 for rep in reports), default=0)
+    n_fluid_total = sum(rep.get("n_fluid") or 0 for rep in reports)
+    slowest = max((float(rep.get("wall_s") or 0.0) for rep in reports),
+                  default=0.0)
 
     counters: dict[str, float] = {}
     for rep in reports:
@@ -83,10 +146,11 @@ def merge_rank_reports(per_rank: list[dict],
     mlups_per_rank = [
         {
             "rank": rep.get("rank"),
-            "n_fluid": rep.get("n_fluid", 0),
-            "wall_s": rep.get("wall_s", 0.0),
-            "mlups": (rep.get("n_fluid", 0) * rep.get("steps", 0)
-                      / rep["wall_s"] / 1e6 if rep.get("wall_s") else 0.0),
+            "n_fluid": rep.get("n_fluid") or 0,
+            "wall_s": float(rep.get("wall_s") or 0.0),
+            "mlups": ((rep.get("n_fluid") or 0) * (rep.get("steps") or 0)
+                      / float(rep["wall_s"]) / 1e6
+                      if rep.get("wall_s") else 0.0),
         }
         for rep in reports
     ]
@@ -102,6 +166,7 @@ def merge_rank_reports(per_rank: list[dict],
         "mlups": aggregate_mlups,
         "mlups_per_rank": mlups_per_rank,
         "comm": comm,
+        "imbalance": _imbalance(reports),
         "phases": _merge_phases([rep.get("summary", {}) for rep in reports]),
         "counters": counters,
         "per_rank": reports,

@@ -115,7 +115,8 @@ class NullTelemetry:
         """Discard a gauge write."""
         return None
 
-    def add_span(self, name: str, start: float, duration: float) -> None:
+    def add_span(self, name: str, start: float, duration: float,
+                 depth: int = 0) -> None:
         """Discard an externally-timed span."""
         return None
 
@@ -203,15 +204,24 @@ class Telemetry:
         """Set the named gauge to its latest value."""
         self.gauges[name] = float(value)
 
-    def add_span(self, name: str, start: float, duration: float) -> None:
+    def add_span(self, name: str, start: float, duration: float,
+                 depth: int = 0) -> None:
         """Record an externally-timed span (``start`` on this registry's
-        clock, i.e. a ``clock()`` reading)."""
+        clock, i.e. a ``clock()`` reading).
+
+        ``depth`` is the nesting depth the span should carry in Chrome
+        trace export; externally-timed spans (merged per-rank reports,
+        wrapped library calls) pass the depth of the hierarchical path
+        they belong to so they nest correctly alongside natively-timed
+        phases.
+        """
         stats = self.phases.get(name)
         if stats is None:
             stats = self.phases[name] = PhaseStats()
         stats.add(duration)
         if self.record_spans:
-            self._append_span(Span(name, start - self._epoch, duration, 0))
+            self._append_span(Span(name, start - self._epoch, duration,
+                                   int(depth)))
 
     def _append_span(self, span: Span) -> None:
         if len(self.spans) < self.max_spans:

@@ -152,6 +152,15 @@ class RunSpec:
         Per-rank stability-watchdog cadence in steps (0 disables): every
         worker checks its interior slab for NaN/Inf/over-speed nodes and
         converts silent corruption into a structured failure.
+    events_dir:
+        Run directory for the per-rank JSONL event streams (see
+        :mod:`repro.obs.events`): every worker appends heartbeat /
+        progress / phase / checkpoint / watchdog events there, so a
+        live run can be tailed with ``mrlbm watch``. ``None`` disables
+        event streaming.
+    events_every:
+        Heartbeat cadence in steps (default 25 when ``events_dir`` is
+        set).
     """
 
     kind: str
@@ -169,6 +178,8 @@ class RunSpec:
     resume_from: str | None = None
     max_restarts: int = 0
     watchdog_every: int = 0
+    events_dir: str | None = None
+    events_every: int = 25
 
     def fingerprint(self) -> str:
         """Stable digest of the problem identity (kind + preset options).

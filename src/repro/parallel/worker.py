@@ -35,6 +35,13 @@ Fault tolerance hooks ride on this loop (see ``docs/PARALLEL.md``):
   checks its interior slab for NaN/Inf/over-speed nodes
   (:func:`~repro.obs.watchdog.check_fields`) and converts silent
   corruption into a structured failure.
+* **event streaming** — with ``RunSpec.events_dir`` set, the rank
+  appends heartbeat/progress/phase/checkpoint/watchdog events to its
+  own JSONL stream (:mod:`repro.obs.events`) on the
+  ``RunSpec.events_every`` cadence, so ``mrlbm watch`` can tail the
+  cohort while it runs; the final report also carries the rank's
+  halo-exchange wait time (``exchange_wait_s``, the barrier phases) for
+  the merged load-imbalance attribution.
 
 Failures never deadlock the cohort: an exception posts a structured
 record to the error queue and aborts the barrier, which unwinds every
@@ -61,6 +68,7 @@ from ..io.checkpoint import (
     save_rank_slab,
 )
 from ..obs import Telemetry
+from ..obs.events import EventStream, RunEventEmitter
 from ..obs.manifest import RunManifest
 from ..obs.watchdog import check_fields
 from .faults import maybe_inject, normalize_fault
@@ -133,6 +141,7 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
     shms = []
     views = []
     step = None
+    emitter = None
 
     def _view_of(entry):
         """Attach a planned block and wrap it as an ndarray view."""
@@ -168,11 +177,23 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
         ckpt_every = int(spec.checkpoint_every or 0)
         checkpointing = bool(spec.checkpoint_dir) and ckpt_every > 0
         watch_every = int(spec.watchdog_every or 0)
+        if spec.events_dir:
+            emitter = RunEventEmitter(
+                EventStream(spec.events_dir, rank=rank, attempt=attempt),
+                every=spec.events_every or 25, n_steps=n_steps,
+                start_step=start_step, telemetry=tel,
+                n_fluid=state.n_interior_fluid())
+            emitter.start(pid=os.getpid(), scheme=solver.scheme,
+                          lattice=solver.lat.name, accel=solver.accel,
+                          n_fluid=state.n_interior_fluid(),
+                          resumed=bool(resume_dir))
         for step in range(start_step, n_steps):
             if checkpointing and step > start_step and step % ckpt_every == 0:
                 with tel.phase("checkpoint"):
                     _write_checkpoint(spec, solver, state, rank, step,
                                       barrier, barrier_timeout)
+                if emitter is not None:
+                    emitter.checkpoint(step, spec.checkpoint_dir)
             maybe_inject(fault, rank, step, attempt,
                          getattr(state, solver.field_attr))
             with tel.phase("step"):
@@ -201,7 +222,13 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
             if watch_every and (step + 1) % watch_every == 0:
                 with tel.phase("watchdog"):
                     _check_health(solver, state, rank, step + 1)
+                if emitter is not None:
+                    emitter.watchdog(step + 1, ok=True)
+            if emitter is not None:
+                emitter.maybe(step + 1)
 
+        if emitter is not None:
+            emitter.end(n_steps, steps=n_steps - start_step)
         resq.put({
             "rank": rank,
             "pid": os.getpid(),
@@ -212,6 +239,7 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
             "attempt": attempt,
             "n_fluid": state.n_interior_fluid(),
             "wall_s": tel.phase_total("step"),
+            "exchange_wait_s": tel.phase_total("step/barrier"),
             "comm": solver.comm.to_dict(),
             "summary": tel.summary(),
         })
@@ -219,8 +247,12 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
         # A sibling failed (or timed out) and aborted the barrier; unwind
         # quietly — the culprit has already posted its failure record (or
         # the parent will synthesize one for a silent death).
-        pass
+        if emitter is not None:
+            emitter.error(step, "BrokenBarrierError",
+                          "sibling failed; barrier aborted")
     except Exception as exc:
+        if emitter is not None:
+            emitter.error(step, type(exc).__name__, str(exc))
         try:
             errq.put({
                 "rank": rank,
@@ -237,6 +269,8 @@ def worker_main(spec: RunSpec, rank: int, n_steps: int, plan: ShmPlan,
                 pass
         raise SystemExit(1)
     finally:
+        if emitter is not None:
+            emitter.stream.close()
         del views
         for shm in shms:
             try:

@@ -130,3 +130,123 @@ class TestCommands:
         top_row = [l for l in out.splitlines() if l.strip().startswith("(")][0]
         # blocks/SM column must satisfy the 2-block rule.
         assert int(top_row.split()[-3]) >= 2
+
+
+class TestBenchCommand:
+    """`mrlbm bench`: measure, append to the trajectory, judge regressions."""
+
+    def _patch_suite(self, monkeypatch):
+        from repro.obs import BenchCell
+
+        cell = BenchCell("ST", "D2Q9", "fused", "periodic", (16, 16),
+                         steps=2, repeats=1)
+        monkeypatch.setattr("repro.obs.default_suite",
+                            lambda quick=False: [cell])
+        return cell
+
+    def test_quick_bench_writes_valid_trajectory(self, capsys, tmp_path,
+                                                 monkeypatch):
+        from repro.obs import load_trajectory
+
+        self._patch_suite(monkeypatch)
+        out = tmp_path / "BENCH_ci.json"
+        rc = main(["bench", "--quick", "--suite", "ci", "--out", str(out)])
+        assert rc == 0
+        doc = load_trajectory(out)             # validates schema + records
+        assert doc["suite"] == "ci" and len(doc["records"]) == 1
+        stdout = capsys.readouterr().out
+        assert "MLUPS" in stdout and "no regressions" in stdout
+
+    def test_injected_slowdown_trips_then_report_only_passes(
+            self, capsys, tmp_path, monkeypatch):
+        import time as _time
+
+        from repro.obs import append_records, run_cell
+
+        cell = self._patch_suite(monkeypatch)
+        out = tmp_path / "BENCH_ci.json"
+        # Baseline: a real measurement of the same cell, inflated so any
+        # rerun regresses far beyond the noise-widened band.
+        baseline = run_cell(cell, suite="ci", host_gbs=10.0).to_dict()
+        baseline["mlups"] *= 1e3
+        baseline["timestamp"] = _time.time()
+        append_records(out, [baseline])
+
+        rc = main(["bench", "--quick", "--suite", "ci", "--out", str(out),
+                   "--no-append"])
+        assert rc == 1
+        assert "regression" in capsys.readouterr().out
+
+        rc = main(["bench", "--quick", "--suite", "ci", "--out", str(out),
+                   "--no-append", "--report-only"])
+        assert rc == 0                         # CI smoke mode: warn, pass
+
+    def test_json_dump_carries_records_and_verdicts(self, tmp_path,
+                                                    monkeypatch):
+        import json
+
+        self._patch_suite(monkeypatch)
+        dump = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--out",
+                   str(tmp_path / "BENCH_default.json"), "--json", str(dump)])
+        assert rc == 0
+        doc = json.loads(dump.read_text())
+        assert doc["records"][0]["scheme"] == "ST"
+        assert doc["comparison"]["verdicts"][0]["status"] == "new"
+
+
+class TestWatchCommand:
+    """`mrlbm watch`: tail / summarize per-rank event streams."""
+
+    def test_missing_run_dir_exits_2(self, capsys, tmp_path):
+        rc = main(["watch", str(tmp_path / "nowhere")])
+        assert rc == 2
+        assert "no events-rank" in capsys.readouterr().err
+
+    def test_summarizes_finished_run(self, capsys, tmp_path):
+        from repro.obs import EventStream, RunEventEmitter
+
+        for rank in range(2):
+            emitter = RunEventEmitter(EventStream(tmp_path, rank=rank),
+                                      every=5, n_steps=10, n_fluid=100)
+            emitter.start(pid=1)
+            emitter.maybe(10)
+            emitter.end(10)
+        rc = main(["watch", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 rank(s), all done" in out
+        assert "done" in out
+
+    def test_error_rank_exits_nonzero(self, capsys, tmp_path):
+        from repro.obs import EventStream
+
+        stream = EventStream(tmp_path, rank=0)
+        stream.emit("start", step=0, n_steps=4)
+        stream.emit("error", step=2, exc_type="ValueError", message="boom")
+        rc = main(["watch", str(tmp_path)])
+        assert rc == 1
+        assert "ValueError: boom" in capsys.readouterr().out
+
+    def test_follow_drains_finished_run(self, capsys, tmp_path):
+        from repro.obs import EventStream
+
+        stream = EventStream(tmp_path, rank=0)
+        stream.emit("start", step=0, n_steps=4)
+        stream.emit("end", step=4, mlups=1.0, wall_s=0.5)
+        rc = main(["watch", str(tmp_path), "--follow", "--timeout", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "start" in out and "all done" in out
+
+    def test_run_with_events_then_watch(self, capsys, tmp_path):
+        """Single-domain --events run round-trips through watch."""
+        run_dir = tmp_path / "ev"
+        rc = main(["run", "--scheme", "ST", "--shape", "16,8", "--steps",
+                   "6", "--report-interval", "3", "--events", str(run_dir),
+                   "--events-every", "2"])
+        assert rc == 0
+        assert "tail with 'mrlbm watch" in capsys.readouterr().out
+        rc = main(["watch", str(run_dir)])
+        assert rc == 0
+        assert "1 rank(s), all done" in capsys.readouterr().out

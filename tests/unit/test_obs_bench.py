@@ -1,0 +1,278 @@
+"""Unit: benchmark trajectory records, regression sentinel, roofline join.
+
+Covers the :mod:`repro.obs.bench` schema contract (validation rejects
+malformed records loudly), the append-only trajectory file, the
+noise-aware comparator (an injected slowdown trips the sentinel, a clean
+rerun passes, and a wobbly baseline widens its own band) and the
+:mod:`repro.obs.attain` roofline join against the paper's bytes/FLUP
+model.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BENCH_SCHEMA_VERSION,
+    BenchCell,
+    BenchRecord,
+    append_records,
+    attain_cell,
+    attainment_note,
+    compare_to_baseline,
+    default_suite,
+    format_comparison,
+    format_records,
+    load_trajectory,
+    measure_host_bandwidth,
+    records_from_comparison,
+    run_cell,
+    run_suite,
+    trajectory_path,
+    validate_record,
+    validate_trajectory,
+)
+from repro.lattice import get_lattice
+from repro.obs.attain import BANDWIDTH_BOUND_ATTAINMENT
+from repro.obs.bench import git_rev
+from repro.perf import bytes_per_flup
+
+
+def make_record(mlups=100.0, **over):
+    """A schema-valid record dict with overridable fields."""
+    rec = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "test",
+        "scheme": "ST",
+        "lattice": "D2Q9",
+        "backend": "reference",
+        "problem": "periodic",
+        "shape": [48, 48],
+        "ranks": 1,
+        "tau": 0.8,
+        "steps": 4,
+        "repeats": 2,
+        "n_fluid": 2304,
+        "wall_s": 0.01,
+        "mlups": mlups,
+        "bytes_per_flup": 144.0,
+        "effective_gbs": (mlups * 144.0 / 1e3
+                          if isinstance(mlups, (int, float)) else 0.0),
+        "attainment": 0.1,
+        "model_mlups": 6250.0,
+        "model_device": "V100",
+        "git_rev": "abc1234",
+        "timestamp": 1.0,
+    }
+    rec.update(over)
+    return rec
+
+
+class TestRecordSchema:
+    def test_valid_record_passes(self):
+        assert validate_record(make_record()) is not None
+
+    def test_dataclass_round_trip(self):
+        rec = BenchRecord.from_dict(make_record())
+        d = rec.to_dict()
+        assert d["scheme"] == "ST"
+        assert d["shape"] == [48, 48]          # tuples serialize as lists
+        assert rec.shape == (48, 48)
+        assert BenchRecord.from_dict(d) == rec
+
+    def test_missing_field_rejected(self):
+        rec = make_record()
+        del rec["mlups"]
+        with pytest.raises(ValueError, match="missing field 'mlups'"):
+            validate_record(rec)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError, match="field 'mlups' has type"):
+            validate_record(make_record(mlups="fast"))
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ValueError, match="'ranks'"):
+            validate_record(make_record(ranks=True))
+
+    def test_schema_version_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_record(make_record(schema_version=99))
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            validate_record(make_record(mlups=-1.0))
+
+    def test_git_rev_in_repo(self):
+        assert isinstance(git_rev(), str) and git_rev()
+
+
+class TestTrajectoryFile:
+    def test_path_convention(self, tmp_path):
+        assert trajectory_path("default").name == "BENCH_default.json"
+        assert trajectory_path("ci", tmp_path) == tmp_path / "BENCH_ci.json"
+
+    def test_load_absent_gives_skeleton(self, tmp_path):
+        doc = load_trajectory(tmp_path / "BENCH_none.json")
+        assert doc == {"schema_version": BENCH_SCHEMA_VERSION,
+                       "suite": None, "records": []}
+
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        append_records(path, [make_record(mlups=10.0)])
+        append_records(path, [make_record(mlups=11.0)])
+        doc = load_trajectory(path)
+        assert doc["suite"] == "test"
+        assert [r["mlups"] for r in doc["records"]] == [10.0, 11.0]
+        assert validate_trajectory(doc) is doc
+
+    def test_append_rejects_malformed(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        with pytest.raises(ValueError):
+            append_records(path, [make_record(schema_version=2)])
+        assert not path.exists()               # nothing written on failure
+
+    def test_corrupt_trajectory_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        path.write_text(json.dumps({"schema_version": 0, "records": []}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_trajectory(path)
+
+
+class TestRegressionSentinel:
+    BASELINE = [make_record(mlups=m) for m in (99.0, 100.0, 101.0)]
+
+    def _verdict(self, new_mlups):
+        result = compare_to_baseline(self.BASELINE,
+                                     [make_record(mlups=new_mlups)])
+        return result, result["verdicts"][0]
+
+    def test_injected_slowdown_trips(self):
+        result, v = self._verdict(60.0)
+        assert v["status"] == "regression"
+        assert result["regressions"] == 1
+        assert v["baseline_mlups"] == 100.0
+        assert v["ratio"] == pytest.approx(0.6)
+
+    def test_clean_run_passes(self):
+        result, v = self._verdict(98.0)
+        assert v["status"] == "ok"
+        assert result["regressions"] == 0
+
+    def test_improvement_flagged(self):
+        _, v = self._verdict(140.0)
+        assert v["status"] == "improved"
+
+    def test_unknown_cell_is_new(self):
+        result = compare_to_baseline(
+            self.BASELINE, [make_record(lattice="D3Q19")])
+        v = result["verdicts"][0]
+        assert v["status"] == "new" and v["baseline_mlups"] is None
+        assert result["regressions"] == 0
+
+    def test_noisy_baseline_widens_band(self):
+        # 40% historical spread: a 30% drop must NOT trip the sentinel.
+        noisy = [make_record(mlups=m) for m in (80.0, 100.0, 120.0)]
+        result = compare_to_baseline(noisy, [make_record(mlups=70.0)],
+                                     rel_threshold=0.15)
+        v = result["verdicts"][0]
+        assert v["threshold"] == pytest.approx(0.4)
+        assert v["status"] == "ok"
+
+    def test_baseline_window_uses_recent_records(self):
+        # Old slow history must not mask a regression vs the recent past.
+        history = ([make_record(mlups=10.0)] * 5
+                   + [make_record(mlups=m) for m in (99.0, 100.0, 101.0,
+                                                     100.0, 100.0)])
+        result = compare_to_baseline(history, [make_record(mlups=60.0)],
+                                     baseline_window=5)
+        assert result["verdicts"][0]["status"] == "regression"
+
+    def test_verdicts_carry_attainment_note(self):
+        _, v = self._verdict(98.0)
+        assert v["note"] == attainment_note(v["attainment"])
+
+    def test_format_comparison_renders(self):
+        result, _ = self._verdict(60.0)
+        text = format_comparison(result)
+        assert "regression" in text and "1 regression(s)" in text
+
+
+class TestRooflineJoin:
+    def test_bytes_per_flup_matches_paper_model(self):
+        # ST streams 2Q values/FLUP, MR streams 2M (paper Table 2).
+        lat = get_lattice("D2Q9")
+        st = attain_cell(10.0, "ST", "D2Q9", host_gbs=10.0)
+        mr = attain_cell(10.0, "MR-P", "D2Q9", host_gbs=10.0)
+        assert st["bytes_per_flup"] == bytes_per_flup(lat, "ST") == 144.0
+        assert mr["bytes_per_flup"] == bytes_per_flup(lat, "MR") == 96.0
+
+    def test_power_law_scheme_maps_to_mr(self):
+        att = attain_cell(10.0, "MR-P-PL", "D2Q9", host_gbs=10.0)
+        assert att["pattern"] == "MR"
+
+    def test_attainment_is_effective_over_host(self):
+        att = attain_cell(10.0, "ST", "D2Q9", host_gbs=14.4)
+        assert att["effective_gbs"] == pytest.approx(10.0 * 144.0 / 1e3)
+        assert att["attainment"] == pytest.approx(1.44 / 14.4)
+        assert att["bound"] == "overhead"
+
+    def test_bandwidth_bound_classification(self):
+        # Attainment above the threshold reads as truly bandwidth-bound.
+        att = attain_cell(60.0, "ST", "D2Q9", host_gbs=14.4)
+        assert att["attainment"] >= BANDWIDTH_BOUND_ATTAINMENT
+        assert att["bound"] == "bandwidth"
+
+    def test_model_roofline_column(self):
+        att = attain_cell(10.0, "ST", "D2Q9", device="V100", host_gbs=10.0)
+        assert att["model_device"] == "V100"
+        assert att["model_mlups"] == pytest.approx(900e9 / 144.0 / 1e6)
+
+    def test_host_bandwidth_probe_cached(self):
+        a = measure_host_bandwidth(nbytes=1 << 20, repeats=1)
+        b = measure_host_bandwidth()
+        assert a > 0 and a == b                # module-level cache
+
+    def test_attainment_note_strings(self):
+        assert "bandwidth" in attainment_note(0.8)
+        assert isinstance(attainment_note(0.01), str)
+
+
+class TestMeasurement:
+    def test_run_cell_produces_valid_record(self):
+        cell = BenchCell("ST", "D2Q9", "fused", "periodic", (24, 24),
+                         steps=2, repeats=1)
+        rec = run_cell(cell, suite="unit", host_gbs=10.0, warmup=1)
+        d = rec.to_dict()
+        validate_record(d)
+        assert d["mlups"] > 0 and d["wall_s"] > 0
+        assert d["n_fluid"] == 24 * 24
+        assert d["bytes_per_flup"] == 144.0
+        assert d["extra"]["bound"] in ("bandwidth", "overhead")
+        assert "MLUPS" in format_records([rec])
+
+    def test_run_suite_reports_progress(self):
+        cells = [BenchCell("ST", "D2Q9", "fused", "periodic", (16, 16),
+                           steps=1, repeats=1)]
+        seen = []
+        records = run_suite(cells, suite="unit", progress=seen.append)
+        assert seen == records and len(records) == 1
+        validate_record(records[0].to_dict())
+
+    def test_default_suite_shapes(self):
+        quick, full = default_suite(quick=True), default_suite()
+        assert len(quick) >= 4 and len(full) > len(quick)
+        assert all(c.key() for c in quick)
+        assert any(c.ranks > 1 for c in full)  # one distributed cell
+        assert any(c.lattice == "D3Q19" for c in full)
+
+    def test_records_from_comparison(self):
+        from repro.obs import compare_backends
+
+        result = compare_backends("ST", "D2Q9", shape=(24, 24), steps=2)
+        records = records_from_comparison(result, suite="paper-bench",
+                                          host_gbs=10.0)
+        assert len(records) == len(result["backends"])
+        for rec in records:
+            validate_record(rec)
+            assert rec["suite"] == "paper-bench"
+            assert rec["extra"]["speedup"] is not None
