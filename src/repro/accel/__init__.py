@@ -12,6 +12,15 @@ faster realizations of the *same* steps, selected per solver via
     Pure-NumPy fused kernels (:mod:`repro.accel.fused`): BLAS-backed
     moment projections, preallocated buffers, no post-collision
     temporary. Always available.
+``"aa"``
+    Single-lattice in-place streaming (:mod:`repro.accel.inplace`):
+    the AA pattern of the reference ``solver/aa.py`` fused with the
+    same collision arithmetic as ``"fused"``. One persistent lattice
+    (half the ST state footprint), and on boundary-free problems one
+    streaming traversal per step *pair* instead of one per step — the
+    memory-traffic model is derived in ``docs/ALGORITHMS.md``. Always
+    available; falls back to conservative fused-identical steps when
+    boundary objects are present.
 ``"numba"``
     JIT kernels (:mod:`repro.accel.numba_backend`) that fuse the
     table-driven streaming gather into the adjacent compute stage.
@@ -46,6 +55,7 @@ runs the per-node relaxation path each step.
 from __future__ import annotations
 
 from .fused import STREAM_MODES, FusedMRCore, FusedSTCore
+from .inplace import InplaceMRCore, InplaceSTCore, aa_to_natural, natural_to_aa
 from .numba_backend import HAS_NUMBA, NumbaMRCore, NumbaSTCore
 from .tables import NeighborTable, clear_cache, neighbor_table, stream_gather
 
@@ -57,6 +67,10 @@ __all__ = [
     "solver_caps",
     "FusedSTCore",
     "FusedMRCore",
+    "InplaceSTCore",
+    "InplaceMRCore",
+    "natural_to_aa",
+    "aa_to_natural",
     "NumbaSTCore",
     "NumbaMRCore",
     "NeighborTable",
@@ -68,7 +82,7 @@ __all__ = [
 ]
 
 #: Recognized backend names, in preference order.
-BACKENDS = ("reference", "fused", "numba")
+BACKENDS = ("reference", "fused", "aa", "numba")
 
 
 def available_backends() -> tuple[str, ...]:
@@ -111,6 +125,77 @@ class _FusedMRStepper:
 
     def step(self, solver) -> None:
         """One fused MR step updating ``solver.m`` in place."""
+        tau_field = None
+        if self.variable_tau:
+            with solver.telemetry.phase("collide"):
+                solver._update_relaxation()
+            tau_field = solver.tau_field
+        self.core.step(solver.m, solver.boundaries, self._solid,
+                       solver.telemetry, force=solver.force,
+                       tau_field=tau_field)
+
+
+class _InplaceSTStepper:
+    """Binds an :class:`InplaceSTCore` to an ST solver (the ``"aa"`` backend).
+
+    On boundary-free problems the two lean step flavours alternate on
+    the solver clock's parity (even time = natural layout, odd time =
+    AA layout — see :mod:`repro.accel.inplace`); with boundary objects
+    the conservative fused-identical step runs every time, keeping the
+    state natural so the hooks and checkpoints see what they expect.
+    """
+
+    backend = "aa"
+
+    def __init__(self, solver, stream: str = "auto"):
+        solid = solver.domain.solid_mask
+        self._solid = solid if solid.any() else None
+        self.lean = not solver.boundaries
+        self.core = InplaceSTCore(
+            solver.lat, solver.domain.shape, solver.tau, stream=stream,
+            solid_mask=self._solid if self.lean else None)
+
+    def step(self, solver) -> None:
+        """One single-lattice ST step updating ``solver.f`` in place."""
+        if not self.lean:
+            self.core.step_bounded(solver.f, solver.boundaries, self._solid,
+                                   solver.telemetry, force=solver.force)
+        elif solver.time % 2 == 0:
+            self.core.step_scatter(solver.f, solver.telemetry,
+                                   force=solver.force)
+        else:
+            self.core.step_local(solver.f, solver.telemetry,
+                                 force=solver.force)
+
+
+class _InplaceMRStepper:
+    """Binds the single-buffer MR core to an MR solver (``"aa"`` backend).
+
+    Boundary-free problems run :class:`InplaceMRCore` (one distribution
+    buffer, tiled gather-project); bounded problems fall back to the
+    two-buffer :class:`FusedMRCore` — same trajectory, no footprint win
+    yet (see docs/ALGORITHMS.md).
+    """
+
+    backend = "aa"
+
+    def __init__(self, solver, scheme: str, variable_tau: bool = False):
+        solid = solver.domain.solid_mask
+        self._solid = solid if solid.any() else None
+        self.variable_tau = variable_tau
+        tau_bulk = (None if variable_tau
+                    else getattr(solver, "tau_bulk", None))
+        if solver.boundaries:
+            self.core = FusedMRCore(solver.lat, solver.domain.shape,
+                                    solver.tau, scheme=scheme,
+                                    tau_bulk=tau_bulk)
+        else:
+            self.core = InplaceMRCore(solver.lat, solver.domain.shape,
+                                      solver.tau, scheme=scheme,
+                                      tau_bulk=tau_bulk)
+
+    def step(self, solver) -> None:
+        """One single-buffer MR step updating ``solver.m`` in place."""
         tau_field = None
         if self.variable_tau:
             with solver.telemetry.phase("collide"):
@@ -217,7 +302,10 @@ def validate_backend(solver, backend: str | None = None) -> dict | None:
             raise _reject(solver, backend,
                           "only the plain BGK collision is fused for ST")
 
-    if backend == "fused":
+    if backend in ("fused", "aa"):
+        # The single-lattice backend shares the fused support matrix:
+        # bounded configurations run its conservative fused-identical
+        # fallback, so no extra restrictions apply.
         return caps
 
     # backend == "numba"
@@ -258,6 +346,11 @@ def make_stepper(solver, backend: str | None = None):
             return _FusedSTStepper(solver)
         return _FusedMRStepper(solver, caps["scheme"],
                                variable_tau=variable_tau)
+    if backend == "aa":
+        if family == "st":
+            return _InplaceSTStepper(solver)
+        return _InplaceMRStepper(solver, caps["scheme"],
+                                 variable_tau=variable_tau)
     if family == "st":
         return _NumbaSTStepper(solver)
     return _NumbaMRStepper(solver, caps["scheme"],

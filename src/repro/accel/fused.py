@@ -131,12 +131,13 @@ class FusedSTCore:
             )
         return self._force_bufs
 
-    def _add_guo_source(self, out: np.ndarray, ff: np.ndarray) -> None:
-        """Add the fused Guo source ``S_i`` for the flat force ``ff``.
+    def _guo_source(self, ff: np.ndarray) -> np.ndarray:
+        """Build the fused Guo source ``S_i`` for the flat force ``ff``.
 
         Mirrors :func:`repro.core.forcing.guo_source` operation for
         operation (including the division by ``cs2``/``cs4``) so forced
         fused runs track the reference trajectory at the ulp level.
+        Returns the core-owned ``(Q, N)`` source buffer.
         """
         lat = self.lat
         cmat, cf, cu, uftmp, uf, wpref = self._ensure_force_bufs()
@@ -145,14 +146,47 @@ class FusedSTCore:
         np.multiply(self._u, ff, out=uftmp)
         np.sum(uftmp, axis=0, out=uf)
         # S = pref w ((c.F - u.F)/cs2 + (c.u)(c.F)/cs4), built in place:
-        # cu becomes the cs4 term, cf the cs2 term, then both fold into out.
+        # cu becomes the cs4 term, cf the cs2 term.
         cu *= cf
         cu /= lat.cs4
         cf -= uf
         cf /= lat.cs2
         cf += cu
         cf *= wpref
-        out += cf
+        return cf
+
+    def _add_guo_source(self, out: np.ndarray, ff: np.ndarray) -> None:
+        """Add the fused Guo source ``S_i`` for the flat force ``ff``."""
+        out += self._guo_source(ff)
+
+    def _moments_and_feq(self, fs: np.ndarray, ff: np.ndarray | None) -> None:
+        """Fill ``_m``/``_u``/``_meq``/``_feq`` from the flat lattice ``fs``.
+
+        The moment projection, (optionally half-force-shifted) velocity
+        and Eq. 11 equilibrium reconstruction shared by the two-lattice
+        step and the in-place AA steps of
+        :class:`repro.accel.inplace.InplaceSTCore` — one body, so the
+        single-lattice path is collide-identical by construction.
+        """
+        lat = self.lat
+        d = lat.d
+        np.matmul(self._mm, fs, out=self._m)
+        rho = self._m[0]
+        meq = self._meq
+        meq[0] = rho
+        if ff is None:
+            np.divide(self._m[1:1 + d], rho, out=self._u)
+            meq[1:1 + d] = self._m[1:1 + d]
+        else:
+            # u = (j + F/2)/rho; the equilibrium momentum is rho u.
+            np.multiply(ff, 0.5, out=self._u)
+            self._u += self._m[1:1 + d]
+            self._u /= rho
+            np.multiply(self._u, rho, out=meq[1:1 + d])
+        for k, (a, b) in enumerate(lat.pair_tuples):
+            np.multiply(self._u[a], self._u[b], out=meq[1 + d + k])
+            meq[1 + d + k] *= rho
+        np.matmul(self._rc, meq, out=self._feq)
 
     def step(self, f: np.ndarray, scratch: np.ndarray, boundaries,
              solid_mask: np.ndarray | None, tel=NULL_TELEMETRY,
@@ -164,7 +198,6 @@ class FusedSTCore:
         velocity and adds the fused source term.
         """
         lat = self.lat
-        d = lat.d
         with tel.phase("stream"):
             self._stream(f, scratch)
         with tel.phase("boundary"):
@@ -172,31 +205,15 @@ class FusedSTCore:
                 b.post_stream(lat, scratch, f)
         with tel.phase("collide"):
             fs = scratch.reshape(lat.q, -1)
-            np.matmul(self._mm, fs, out=self._m)
-            rho = self._m[0]
-            meq = self._meq
-            meq[0] = rho
-            if force is None:
-                np.divide(self._m[1:1 + d], rho, out=self._u)
-                meq[1:1 + d] = self._m[1:1 + d]
-            else:
-                # u = (j + F/2)/rho; the equilibrium momentum is rho u.
-                ff = force.reshape(d, -1)
-                np.multiply(ff, 0.5, out=self._u)
-                self._u += self._m[1:1 + d]
-                self._u /= rho
-                np.multiply(self._u, rho, out=meq[1:1 + d])
-            for k, (a, b) in enumerate(lat.pair_tuples):
-                np.multiply(self._u[a], self._u[b], out=meq[1 + d + k])
-                meq[1 + d + k] *= rho
-            np.matmul(self._rc, meq, out=self._feq)
+            ff = None if force is None else force.reshape(lat.d, -1)
+            self._moments_and_feq(fs, ff)
             # f* = feq + (1 - omega)(f - feq), written into the retired
             # lattice buffer.
             out = f.reshape(lat.q, -1)
             np.subtract(fs, self._feq, out=out)
             out *= self.keep
             out += self._feq
-            if force is not None:
+            if ff is not None:
                 self._add_guo_source(out, ff)
             if solid_mask is not None:
                 f[:, solid_mask] = lat.w[:, None]

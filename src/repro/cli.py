@@ -96,10 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="check for NaN/Inf/over-speed divergence every N "
                      "steps (0 = off)")
     run.add_argument("--accel", default="reference",
-                     choices=["reference", "fused", "numba"],
+                     choices=["reference", "fused", "aa", "numba"],
                      help="execution backend for the solver step: the "
                      "reference implementation, the fused NumPy fast "
-                     "path, or the numba JIT kernels (optional extra); "
+                     "path, the single-lattice in-place streaming path "
+                     "(aa), or the numba JIT kernels (optional extra); "
                      "see docs/PERFORMANCE.md")
     run.add_argument("--events", default=None, metavar="DIR",
                      help="append per-rank JSONL event streams "
@@ -124,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--json", default=None, metavar="PATH",
                       help="also dump the raw profile results as JSON")
     prof.add_argument("--accel", default="reference",
-                      choices=["reference", "fused", "numba", "compare"],
+                      choices=["reference", "fused", "aa", "numba", "compare"],
                       help="execution backend to profile, or 'compare' to "
                       "run every available backend on one problem and "
                       "report MLUPS side by side")
@@ -208,7 +209,7 @@ def _distributed_spec(args, shape):
     if accel == "numba":
         raise ValueError(
             "--accel numba is single-domain only; distributed runs "
-            "support --accel reference or fused")
+            "support --accel reference, fused or aa")
     fault_tolerance = {
         "checkpoint_dir": args.checkpoint_dir,
         "checkpoint_every": args.checkpoint_every,
@@ -538,7 +539,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print()
         if accel == "compare":
             if scheme.upper() == "AA":
-                print("AA: no fast-path backend yet; skipped in comparison")
+                print("AA: reference-only scheme; the single-lattice fast "
+                      "path is the 'aa' backend column of the ST/MR rows")
                 continue
             result = compare_backends(scheme, lattice=args.lattice,
                                       shape=shape, steps=args.steps,

@@ -85,7 +85,11 @@ def save_checkpoint(path: str | Path, solver: Solver,
         "node_type": solver.domain.node_type,
     }
     if isinstance(solver, STSolver):
-        payload["f"] = solver.f
+        # Always written in the natural layout: at odd times the lean
+        # single-lattice backend stores a component-shifted state, and
+        # ``_checkpoint_state`` un-streams it, so checkpoints stay
+        # loadable by any backend at any parity.
+        payload["f"] = solver._checkpoint_state()
     elif isinstance(solver, (MRPSolver, MRRSolver)):
         payload["m"] = solver.m
     else:  # pragma: no cover - future solvers
@@ -111,7 +115,10 @@ def restore_checkpoint(path: str | Path, solver: Solver) -> Solver:
             raise ValueError("checkpoint domain does not match solver domain")
         solver.time = int(data["time"])
         if isinstance(solver, STSolver):
-            solver.f[...] = data["f"]
+            # ``_restore_state`` re-shifts the natural payload when the
+            # target is the lean single-lattice backend at odd parity
+            # (time has been set above, so the parity is known).
+            solver._restore_state(data["f"])
         else:
             solver.m[...] = data["m"]
     return solver

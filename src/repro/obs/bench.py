@@ -235,7 +235,8 @@ def _time_distributed(cell: BenchCell, warmup: int) -> tuple[float, int]:
     from ..parallel import RunSpec, run_process
 
     kind = "periodic" if cell.problem == "periodic" else cell.problem
-    accel = cell.backend if cell.backend in ("reference", "fused") else "reference"
+    accel = (cell.backend if cell.backend in ("reference", "fused", "aa")
+             else "reference")
     spec = RunSpec(kind, cell.scheme, cell.lattice, tuple(cell.shape),
                    cell.ranks, tau=cell.tau, accel=accel)
     best = float("inf")
@@ -287,8 +288,9 @@ def run_cell(cell: BenchCell, suite: str = "default", device: str = "V100",
 def default_suite(quick: bool = False) -> list[BenchCell]:
     """The standard cell matrix of ``mrlbm bench``.
 
-    The full matrix covers both lattices, both pattern classes and both
-    host backends on domains large enough to stream from DRAM; the
+    The full matrix covers both lattices, both pattern classes and the
+    host backends (reference, fused two-lattice, single-lattice ``aa``)
+    on domains large enough to stream from DRAM; the
     ``--quick`` matrix is the CI smoke variant — same cells, shrunk
     shapes and counts, a few seconds total.
     """
@@ -298,15 +300,21 @@ def default_suite(quick: bool = False) -> list[BenchCell]:
                       steps=4, repeats=2),
             BenchCell("ST", "D2Q9", "fused", "periodic", (48, 48),
                       steps=4, repeats=2),
+            BenchCell("ST", "D2Q9", "aa", "periodic", (48, 48),
+                      steps=4, repeats=2),
             BenchCell("MR-P", "D2Q9", "reference", "channel", (48, 26),
                       steps=4, repeats=2),
             BenchCell("MR-P", "D2Q9", "fused", "channel", (48, 26),
+                      steps=4, repeats=2),
+            BenchCell("MR-P", "D2Q9", "aa", "periodic", (48, 48),
                       steps=4, repeats=2),
         ]
     return [
         BenchCell("ST", "D2Q9", "reference", "periodic", (192, 192),
                   steps=10, repeats=3),
         BenchCell("ST", "D2Q9", "fused", "periodic", (192, 192),
+                  steps=10, repeats=3),
+        BenchCell("ST", "D2Q9", "aa", "periodic", (192, 192),
                   steps=10, repeats=3),
         BenchCell("MR-P", "D2Q9", "reference", "channel", (192, 130),
                   steps=10, repeats=3),
@@ -316,9 +324,13 @@ def default_suite(quick: bool = False) -> list[BenchCell]:
                   steps=10, repeats=3),
         BenchCell("ST", "D3Q19", "fused", "periodic", (48, 48, 48),
                   steps=8, repeats=3),
+        BenchCell("ST", "D3Q19", "aa", "periodic", (48, 48, 48),
+                  steps=8, repeats=3),
         BenchCell("MR-P", "D3Q19", "reference", "periodic", (48, 48, 48),
                   steps=8, repeats=3),
         BenchCell("MR-P", "D3Q19", "fused", "periodic", (48, 48, 48),
+                  steps=8, repeats=3),
+        BenchCell("MR-P", "D3Q19", "aa", "periodic", (48, 48, 48),
                   steps=8, repeats=3),
         BenchCell("MR-P", "D2Q9", "fused", "forced-channel", (192, 130),
                   steps=10, repeats=3),

@@ -252,15 +252,17 @@ def summarize_events(events) -> dict:
 
     Returns ``{"ranks": {rank: state}, "n_ranks": N, "all_done": bool}``
     where each state carries the latest step, progress fraction, MLUPS,
-    phase totals, checkpoint/watchdog history counts and a terminal
-    status (``running``/``done``/``error``).
+    phase totals, checkpoint/watchdog history counts, the step of the
+    most recent checkpoint (``last_checkpoint_step`` — the rank's resume
+    point) and a terminal status (``running``/``done``/``error``).
     """
     ranks: dict[int, dict] = {}
     for event in events:
         state = ranks.setdefault(event.get("rank", 0), {
             "status": "running", "step": 0, "fraction": None,
             "mlups": 0.0, "wall_s": 0.0, "n_steps": None,
-            "checkpoints": 0, "watchdog_checks": 0, "last_ts": 0.0,
+            "checkpoints": 0, "last_checkpoint_step": None,
+            "watchdog_checks": 0, "last_ts": 0.0,
             "phases_s": {}, "error": None,
         })
         kind = event.get("kind")
@@ -278,6 +280,8 @@ def summarize_events(events) -> dict:
             state["phases_s"] = event.get("totals_s", {})
         elif kind == "checkpoint":
             state["checkpoints"] += 1
+            if event.get("step") is not None:
+                state["last_checkpoint_step"] = event["step"]
         elif kind == "watchdog":
             state["watchdog_checks"] += 1
         if kind == "end":
@@ -295,18 +299,24 @@ def summarize_events(events) -> dict:
 
 
 def format_watch(summary: dict) -> str:
-    """Fixed-width per-rank table of a :func:`summarize_events` summary."""
+    """Fixed-width per-rank table of a :func:`summarize_events` summary.
+
+    The ``ckpt`` column shows the step of the rank's most recent
+    checkpoint event (its resume point), or ``-`` if none was written.
+    """
     lines = [f"  {'rank':>4s} {'status':>8s} {'step':>8s} {'done':>6s} "
-             f"{'MLUPS':>8s} {'wall s':>8s} {'wait %':>7s}"]
+             f"{'MLUPS':>8s} {'wall s':>8s} {'wait %':>7s} {'ckpt':>8s}"]
     for rank in sorted(summary["ranks"]):
         s = summary["ranks"][rank]
         frac = f"{s['fraction']:.0%}" if s["fraction"] is not None else "-"
         wall = s.get("wall_s", 0.0)
         wait = s.get("phases_s", {}).get("step/barrier", 0.0)
         wait_pct = f"{wait / wall:6.1%}" if wall > 0 else "     -"
+        last_ckpt = s.get("last_checkpoint_step")
+        ckpt = f"{last_ckpt:8d}" if last_ckpt is not None else f"{'-':>8s}"
         lines.append(f"  {rank:4d} {s['status']:>8s} {s['step']:8d} "
                      f"{frac:>6s} {s['mlups']:8.2f} {wall:8.2f} "
-                     f"{wait_pct:>7s}")
+                     f"{wait_pct:>7s} {ckpt}")
         if s["error"]:
             lines.append(f"       {s['error']}")
     return "\n".join(lines)

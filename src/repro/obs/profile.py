@@ -40,8 +40,9 @@ def _build_solver(scheme: str, lattice: str, shape: tuple[int, ...],
     if scheme.upper() == "AA":
         if accel != "reference":
             raise ValueError(
-                "the AA scheme has no fast-path backend yet; "
-                "use --accel reference"
+                "the AA scheme is the reference single-lattice solver; "
+                "its fast path is the 'aa' *backend* — profile "
+                "--scheme ST/MR-P/MR-R with --accel aa instead"
             )
         lat = get_lattice(lattice)
         if lat.d != 2:

@@ -206,11 +206,11 @@ class DistributedSolver:
         if st_exchange not in ("crossing", "full"):
             raise ValueError("st_exchange must be 'crossing' or 'full'")
         self.st_exchange = st_exchange
-        if accel not in ("reference", "fused"):
+        if accel not in ("reference", "fused", "aa"):
             raise ValueError(
-                f"distributed solvers support accel='reference' or 'fused', "
-                f"got {accel!r} (the numba backend handles single-domain "
-                f"periodic problems only)"
+                f"distributed solvers support accel='reference', 'fused' or "
+                f"'aa', got {accel!r} (the numba backend handles "
+                f"single-domain periodic problems only)"
             )
         self.accel = accel
 
@@ -362,7 +362,9 @@ class DistributedST(DistributedSolver):
     def _init_rank_state(self, state, rho, u):
         """Initialize the rank's populations at equilibrium."""
         state.f = equilibrium(self.lat, rho, u)
-        state.scratch = np.empty_like(state.f)
+        # The single-lattice core owns its own scratch; every other path
+        # double-buffers through this one.
+        state.scratch = None if self.accel == "aa" else np.empty_like(state.f)
 
     def _rank_macroscopic(self, state):
         """Density and (half-force-corrected) velocity from populations."""
@@ -411,6 +413,22 @@ class DistributedST(DistributedSolver):
                 state.accel_solid = solid if solid.any() else None
             core.step(state.f, state.scratch, state.boundaries,
                       state.accel_solid, force=state.force)
+            return
+        if self.accel == "aa":
+            # Per-rank conservative single-lattice step: the slab state
+            # stays natural every step, so halo exchange and interior
+            # checkpoints are untouched; the rank persists one lattice
+            # (the core's scratch replaces state.scratch).
+            core = getattr(state, "accel_core", None)
+            if core is None:
+                from ..accel import InplaceSTCore
+
+                core = state.accel_core = InplaceSTCore(
+                    lat, state.domain.shape, self.tau)
+                solid = state.domain.solid_mask
+                state.accel_solid = solid if solid.any() else None
+            core.step_bounded(state.f, state.boundaries, state.accel_solid,
+                              force=state.force)
             return
         stream_pull(lat, state.f, out=state.scratch)
         for b in state.boundaries:
@@ -461,7 +479,10 @@ class DistributedMR(DistributedSolver):
     def _init_rank_state(self, state, rho, u):
         """Initialize the rank's moment field at equilibrium."""
         state.m = equilibrium_moments(self.lat, rho, u)
-        state.scratch = np.empty((self.lat.q, *state.domain.shape))
+        # The single-buffer core allocates its own (single) lattice,
+        # cutting the rank's distribution scratch from 2 Q-fields to 1.
+        state.scratch = (None if self.accel == "aa"
+                         else np.empty((self.lat.q, *state.domain.shape)))
 
     def _rank_macroscopic(self, state):
         """Density and velocity straight from the conserved moments."""
@@ -489,14 +510,24 @@ class DistributedMR(DistributedSolver):
     def _rank_step(self, state) -> None:
         """Moment-space collide, reconstruct, push-stream one slab."""
         lat = self.lat
-        if self.accel == "fused":
+        if self.accel in ("fused", "aa"):
             core = getattr(state, "accel_core", None)
             if core is None:
-                from ..accel import FusedMRCore
+                from ..accel import FusedMRCore, InplaceMRCore
 
-                core = state.accel_core = FusedMRCore(
-                    lat, state.domain.shape, self.tau, scheme=self.scheme,
-                    f_scratch=state.scratch)
+                if self.accel == "aa" and not state.boundaries:
+                    # Single-buffer tiled gather-project on this slab
+                    # (ghost planes absorb the periodic wrap, so the
+                    # slab-local neighbour table is exact).
+                    core = InplaceMRCore(lat, state.domain.shape, self.tau,
+                                         scheme=self.scheme)
+                else:
+                    # Bounded ranks (or plain fused) run the two-buffer
+                    # fused core; with accel='aa' it owns both lattices.
+                    core = FusedMRCore(lat, state.domain.shape, self.tau,
+                                       scheme=self.scheme,
+                                       f_scratch=state.scratch)
+                state.accel_core = core
                 solid = state.domain.solid_mask
                 state.accel_solid = solid if solid.any() else None
             core.step(state.m, state.boundaries, state.accel_solid,

@@ -119,9 +119,13 @@ class RunSpec:
         (``u_max``, ``bc_method``, ``rho0``, ``u0``, ``force``,
         ``st_exchange``, ...).
     accel:
-        Per-rank execution backend, ``"reference"`` or ``"fused"`` (see
-        :mod:`repro.accel`); every worker steps its slab through the
-        selected kernels.
+        Per-rank execution backend, ``"reference"``, ``"fused"`` or
+        ``"aa"`` (see :mod:`repro.accel`); every worker steps its slab
+        through the selected kernels. The ``"aa"`` workers run the
+        conservative single-lattice step, so their slab state stays in
+        the natural layout at every step — halo exchange, interior
+        checkpoints and odd/even resume points all behave exactly as
+        with the two-lattice backends.
     fault:
         Deterministic fault injection: a
         :class:`~repro.parallel.faults.FaultSpec` (or a plain dict of

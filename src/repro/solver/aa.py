@@ -55,6 +55,7 @@ class AASolver(Solver):
             raise ValueError("the AA reference solver does not support forcing")
 
     def _initialize(self, rho: np.ndarray, u: np.ndarray) -> None:
+        """Fill the single lattice with the equilibrium of ``(rho, u)``."""
         self.f = equilibrium(self.lat, rho, u)
         self._collision = BGKCollision(self.tau)
 
@@ -73,6 +74,7 @@ class AASolver(Solver):
         return out
 
     def _step_reference(self) -> None:
+        """One AA update: the even or odd kernel flavour, by parity."""
         lat = self.lat
         tel = self.telemetry
         grid_axes = tuple(range(self.f.ndim - 1))
@@ -100,6 +102,7 @@ class AASolver(Solver):
                 self.f = out
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(rho, u)`` from the parity-resolved pre-collision state."""
         return macroscopic(self.lat, self._gathered_state())
 
     @property

@@ -30,15 +30,18 @@ class SolverDiagnostics:
         self._solver = solver
 
     def mass(self) -> float:
+        """Total density summed over the fluid nodes."""
         rho, _ = self._solver.macroscopic()
         return float(rho[self._solver.domain.fluid_mask].sum())
 
     def momentum(self) -> np.ndarray:
+        """Total momentum vector ``sum(rho * u)`` over the fluid nodes."""
         rho, u = self._solver.macroscopic()
         mask = self._solver.domain.fluid_mask
         return np.array([(rho * u[a])[mask].sum() for a in range(u.shape[0])])
 
     def max_speed(self) -> float:
+        """Maximum velocity magnitude over the fluid nodes."""
         _, u = self._solver.macroscopic()
         speed = np.sqrt(np.einsum("a...,a...->...", u, u))
         return float(speed[self._solver.domain.fluid_mask].max())
@@ -267,19 +270,24 @@ class Solver(ABC):
         self.force[...] = new
 
     def velocity(self) -> np.ndarray:
+        """The current velocity field ``u`` of shape ``(D, *grid)``."""
         return self.macroscopic()[1]
 
     def density(self) -> np.ndarray:
+        """The current density field ``rho`` of shape ``grid``."""
         return self.macroscopic()[0]
 
     # -- helpers for subclasses ------------------------------------------
     def _apply_post_stream(self, f_new: np.ndarray, f_source: np.ndarray) -> None:
+        """Apply every bound boundary's post-stream rule, in list order."""
         for b in self.boundaries:
             b.post_stream(self.lat, f_new, f_source)
 
     def _apply_post_collide(self, f_star: np.ndarray, f_post_stream: np.ndarray) -> None:
+        """Apply every bound boundary's post-collide rule, in list order."""
         for b in self.boundaries:
             b.post_collide(self.lat, f_star, f_post_stream)
 
     def _equilibrium_state(self, rho: np.ndarray, u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(f_eq, m_eq)`` equilibrium pair for the given fields."""
         return equilibrium(self.lat, rho, u), equilibrium_moments(self.lat, rho, u)

@@ -32,15 +32,20 @@ class _MomentSolver(Solver):
     """Shared state handling for the two MR schemes."""
 
     def _initialize(self, rho: np.ndarray, u: np.ndarray) -> None:
+        """Set the moment field to the equilibrium of ``(rho, u)``."""
         _, m_eq = self._equilibrium_state(rho, u)
         self.m = m_eq
-        self._f_scratch = np.empty((self.lat.q, *self.domain.shape))
+        # The single-lattice backend's core owns its own (single)
+        # distribution buffer; every other path shares this scratch.
+        self._f_scratch = (None if self.backend == "aa"
+                           else np.empty((self.lat.q, *self.domain.shape)))
 
     def _post_collision_f(self) -> np.ndarray:
         """Post-collision distribution reconstructed from moments."""
         raise NotImplementedError
 
     def _step_reference(self) -> None:
+        """One MR step: collide in m-space, push-stream, re-project."""
         tel = self.telemetry
         with tel.phase("collide"):
             f_star = self._post_collision_f()
@@ -60,6 +65,7 @@ class _MomentSolver(Solver):
         self._f_scratch = f_star
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(rho, u)`` straight from the moment field (no projection)."""
         if self.force is None:
             return self.m[0], velocity_from_moments(self.lat, self.m)
         from ..core.forcing import half_force_velocity
@@ -70,6 +76,7 @@ class _MomentSolver(Solver):
 
     @property
     def state_values_per_node(self) -> int:
+        """``2M`` doubles per node (paper Table 2 footprint model)."""
         return 2 * self.lat.n_moments
 
 
@@ -93,6 +100,7 @@ class MRPSolver(_MomentSolver):
         super().__init__(*args, **kwargs)
 
     def _post_collision_f(self) -> np.ndarray:
+        """Eq. 10 collision then Eq. 11 reconstruction to f-space."""
         m_star = collide_moments_projective(self.lat, self.m, self.tau,
                                             force=self.force,
                                             tau_bulk=self.tau_bulk)
@@ -112,5 +120,6 @@ class MRRSolver(_MomentSolver):
     accel_caps = {"family": "mr", "scheme": "MR-R"}
 
     def _post_collision_f(self) -> np.ndarray:
+        """Eqs. 10 + 12-13 collision then Eq. 14 reconstruction."""
         return collide_moments_recursive(self.lat, self.m, self.tau,
                                          force=self.force)

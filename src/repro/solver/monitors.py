@@ -39,9 +39,11 @@ class Monitor:
         self.values: list = []
 
     def sample(self, solver) -> object:
+        """One observation of the solver; subclasses define the quantity."""
         raise NotImplementedError
 
     def __call__(self, solver) -> None:
+        """Sample the solver if its time matches the cadence."""
         if solver.time % self.every == 0:
             self.times.append(solver.time)
             self.values.append(self.sample(solver))
@@ -96,6 +98,7 @@ class EnergyMonitor(Monitor):
     """Total kinetic energy over the fluid region."""
 
     def sample(self, solver) -> float:
+        """Kinetic energy ``sum(rho |u|^2 / 2)`` over the fluid mask."""
         rho, u = solver.macroscopic()
         return kinetic_energy(rho, u, solver.domain.fluid_mask)
 
@@ -108,6 +111,7 @@ class EnstrophyMonitor(Monitor):
         self.periodic = periodic
 
     def sample(self, solver) -> float:
+        """Enstrophy of the current velocity field over the fluid mask."""
         from ..analysis import enstrophy
 
         _, u = solver.macroscopic()
@@ -123,6 +127,7 @@ class ProbeMonitor(Monitor):
         self.position = tuple(int(p) for p in position)
 
     def sample(self, solver) -> np.ndarray:
+        """The velocity vector at the probe position (copied)."""
         _, u = solver.macroscopic()
         return u[(slice(None), *self.position)].copy()
 
@@ -137,6 +142,7 @@ class ForceMonitor(Monitor):
         self._evaluator = MomentumExchangeForce(solver, body_mask)
 
     def sample(self, solver) -> np.ndarray:
+        """The instantaneous momentum-exchange force on the body."""
         return self._evaluator.force()
 
 
@@ -178,6 +184,7 @@ class ConvergenceMonitor(Monitor):
             self.values.append(self.sample(solver))
 
     def sample(self, solver) -> float:
+        """Max abs velocity change since the last sample (updates it)."""
         _, u = solver.macroscopic()
         if self._last_u is None:
             self._last_u = u.copy()
@@ -190,4 +197,5 @@ class ConvergenceMonitor(Monitor):
 
     @property
     def converged(self) -> bool:
+        """Whether the most recent velocity delta dropped below 1e-8."""
         return bool(self.values) and self.values[-1] < 1e-8

@@ -117,6 +117,7 @@ class PowerLawMRPSolver(MRPSolver):
         return np.sqrt(s_sq, out=s_sq)
 
     def _update_relaxation(self) -> None:
+        """Refresh ``tau_field`` from the power-law of the shear rate."""
         gamma = self._shear_rate()
         tau = self._tau_next
         if self.exponent == 1.0:
@@ -138,6 +139,7 @@ class PowerLawMRPSolver(MRPSolver):
         self.tau_field, self._tau_next = tau, self.tau_field
 
     def _post_collision_f(self) -> np.ndarray:
+        """Variable-τ Eq. 10 collision then reconstruction to f-space."""
         self._update_relaxation()
         m_star = _collide_variable_tau(self.lat, self.m, self.tau_field,
                                        force=self.force)

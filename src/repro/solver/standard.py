@@ -54,11 +54,52 @@ class STSolver(Solver):
             validate_backend(self)
 
     def _initialize(self, rho: np.ndarray, u: np.ndarray) -> None:
+        """Fill the lattice(s) with the equilibrium of ``(rho, u)``."""
         feq, _ = self._equilibrium_state(rho, u)
         self.f = feq                        # current (post-collision) lattice
-        self._f_streamed = np.empty_like(feq)
+        # The single-lattice backend keeps only ``f`` as persistent state
+        # (any scratch it needs is owned by its core).
+        self._f_streamed = (None if self.backend == "aa"
+                            else np.empty_like(feq))
+
+    def _aa_layout_is_shifted(self) -> bool:
+        """True when ``self.f`` is stored in the component-shifted AA layout.
+
+        Only the lean (boundary-free) single-lattice path pre-streams the
+        state, and only at odd times; every other configuration keeps the
+        natural layout at all times.
+        """
+        return (self.backend == "aa" and not self.boundaries
+                and self.time % 2 == 1)
+
+    def _natural_f(self) -> np.ndarray:
+        """The natural-layout lattice regardless of backend and parity.
+
+        Returns ``self.f`` itself when it is already natural; at odd lean
+        AA parity it un-streams into a fresh array (pure — the solver
+        state is not touched).
+        """
+        if self._aa_layout_is_shifted():
+            from ..accel.inplace import aa_to_natural
+
+            return aa_to_natural(self.lat, self.f)
+        return self.f
+
+    def _checkpoint_state(self) -> np.ndarray:
+        """Persistent state in the backend-independent natural layout."""
+        return self._natural_f()
+
+    def _restore_state(self, f: np.ndarray) -> None:
+        """Adopt a natural-layout checkpoint payload (``self.time`` is set)."""
+        if self._aa_layout_is_shifted():
+            from ..accel.inplace import natural_to_aa
+
+            self.f[...] = natural_to_aa(self.lat, np.asarray(f))
+        else:
+            self.f[...] = f
 
     def _step_reference(self) -> None:
+        """One Algorithm 1 step: pull-stream, boundaries, collide, swap."""
         tel = self.telemetry
         # Streaming (pull): gather post-collision values from neighbours.
         with tel.phase("stream"):
@@ -115,16 +156,24 @@ class STSolver(Solver):
                 + guo_source(lat, u, self.force, self.tau))
 
     def macroscopic(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(rho, u)`` from the natural-layout lattice (half-force aware)."""
         from ..core.moments import macroscopic
 
+        f = self._natural_f()
         if self.force is None:
-            return macroscopic(self.lat, self.f)
+            return macroscopic(self.lat, f)
         from ..core.forcing import half_force_velocity
 
-        rho = self.f.sum(axis=0)
-        j = np.einsum("qa,q...->a...", self.lat.c.astype(np.float64), self.f)
+        rho = f.sum(axis=0)
+        j = np.einsum("qa,q...->a...", self.lat.c.astype(np.float64), f)
         return rho, half_force_velocity(self.lat, rho, j, self.force)
 
     @property
     def state_values_per_node(self) -> int:
+        """``2Q`` doubles per node, or ``Q`` under the ``"aa"`` backend."""
+        # Two lattices for the classical scheme; the single-lattice
+        # ``"aa"`` backend persists only ``f`` (see docs/ALGORITHMS.md
+        # for the footprint/traffic model).
+        if self.backend == "aa":
+            return self.lat.q
         return 2 * self.lat.q

@@ -66,6 +66,38 @@ class TestEmulatedFusedParity:
         assert np.abs(u_d - u_r).max() < 1e-13
 
 
+class TestEmulatedInplaceParity:
+    """The single-lattice ``aa`` backend inside the slab runtime.
+
+    Distributed aa ranks run the conservative natural-layout step every
+    step (halo exchange and checkpoints see natural arrays), so they
+    must match the reference ranks exactly. The runtime drops the
+    per-rank scratch lattice; boundary-free MR ranks then really run
+    one distribution buffer lighter, while ST ranks trade it for the
+    core-owned scratch (neutral — the conservative fallback still
+    needs a gather target).
+    """
+
+    @pytest.mark.parametrize("kind", ["channel", "periodic", "forced-channel"])
+    @pytest.mark.parametrize("scheme", ["ST", "MR-P", "MR-R"])
+    def test_matches_reference_ranks(self, kind, scheme):
+        ref = build_spec(kind, scheme, 3).build()
+        aa = build_spec(kind, scheme, 3, accel="aa").build()
+        ref.run(10)
+        aa.run(10)
+        rho_r, u_r = ref.gather_macroscopic()
+        rho_a, u_a = aa.gather_macroscopic()
+        assert np.abs(rho_r - rho_a).max() < 1e-13
+        assert np.abs(u_r - u_a).max() < 1e-13
+
+    def test_aa_ranks_drop_scratch_lattice(self):
+        """aa ranks allocate no second lattice (the footprint saving)."""
+        dist = build_spec("periodic", "ST", 2, accel="aa").build()
+        assert all(state.scratch is None for state in dist.ranks)
+        fused = build_spec("periodic", "ST", 2, accel="fused").build()
+        assert all(state.scratch is not None for state in fused.ranks)
+
+
 class TestProcessFused:
     def test_process_backend_runs_fused(self):
         """Real worker processes honour RunSpec.accel and report it."""

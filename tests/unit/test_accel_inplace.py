@@ -1,0 +1,276 @@
+"""Parity and contract tests for the single-lattice ``"aa"`` backend.
+
+The in-place streaming cores of :mod:`repro.accel.inplace` promise
+machine-precision agreement with the two-lattice fused backend at every
+even step (and, through the natural-layout canonicalization, for every
+macroscopic evaluation at odd steps too), across the full feature
+matrix: boundaries, solids, Guo forcing and the per-node variable-tau
+collision. These tests pin that contract, the AA-layout checkpoint
+canonicalization, and the configuration error paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel import available_backends, make_stepper
+from repro.accel.inplace import (InplaceMRCore, InplaceSTCore, aa_to_natural,
+                                 natural_to_aa)
+from repro.boundary import HalfwayBounceBack
+from repro.geometry import SOLID, Domain, lid_driven_cavity, periodic_box
+from repro.io.checkpoint import restore_checkpoint, save_checkpoint
+from repro.lattice import get_lattice
+from repro.solver import (channel_problem, forced_channel_problem,
+                          make_solver, periodic_problem)
+
+SCHEMES = ("ST", "MR-P", "MR-R")
+MACHINE_EPS = 1e-13
+
+
+def run_pair(build, steps=8, against="fused"):
+    """Run ``against`` and the aa backend from identical state; max diffs."""
+    ref = build(against)
+    fast = build("aa")
+    ref.run(steps)
+    fast.run(steps)
+    rho_r, u_r = ref.macroscopic()
+    rho_f, u_f = fast.macroscopic()
+    return (float(np.abs(rho_r - rho_f).max()),
+            float(np.abs(u_r - u_f).max()))
+
+
+def random_periodic_builder(scheme, lattice_name, shape, tau=0.8,
+                            forced=False, solids=False):
+    lat = get_lattice(lattice_name)
+    rng = np.random.default_rng(7)
+    rho0 = 1 + 0.02 * rng.standard_normal(shape)
+    u0 = 0.03 * rng.standard_normal((lat.d, *shape))
+    nt = np.zeros(shape, dtype=np.int8)
+    if solids:
+        nt[tuple(slice(3, 6) for _ in shape)] = SOLID
+    force = None
+    if forced:
+        force = 1e-5 * rng.standard_normal((lat.d, *shape))
+    return lambda backend: make_solver(scheme, lat, Domain(nt), tau,
+                                       rho0=rho0, u0=u0, force=force,
+                                       backend=backend)
+
+
+class TestInplaceParity:
+    """aa == fused to machine precision on the full feature matrix."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("lattice_name,shape", [
+        ("D2Q9", (20, 14)),
+        ("D3Q19", (8, 7, 6)),
+    ])
+    @pytest.mark.parametrize("steps", [7, 8])
+    def test_periodic_even_and_odd(self, scheme, lattice_name, shape, steps):
+        """Periodic boxes match at even *and* odd step counts."""
+        drho, du = run_pair(
+            random_periodic_builder(scheme, lattice_name, shape), steps=steps)
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("lattice_name,shape", [
+        ("D2Q9", (14, 10)),
+        ("D3Q19", (7, 6, 5)),
+    ])
+    def test_forced_periodic(self, scheme, lattice_name, shape):
+        """The Guo source survives the scatter/local step split."""
+        drho, du = run_pair(random_periodic_builder(
+            scheme, lattice_name, shape, forced=True))
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("lattice_name,shape", [
+        ("D2Q9", (14, 10)),
+        ("D3Q19", (7, 6, 5)),
+    ])
+    def test_lean_solids(self, scheme, lattice_name, shape):
+        """Solid pinning lands on the right (shifted) nodes in lean mode."""
+        drho, du = run_pair(random_periodic_builder(
+            scheme, lattice_name, shape, solids=True))
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_poiseuille_channel_fallback(self, scheme):
+        """Bounded problems take the conservative path, still exact."""
+        drho, du = run_pair(
+            lambda backend: channel_problem(scheme, "D2Q9", (24, 12),
+                                            tau=0.8, u_max=0.04,
+                                            backend=backend))
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_forced_channel(self, scheme):
+        """Body-forced bounce-back channels (fallback + Guo source)."""
+        drho, du = run_pair(
+            lambda backend: forced_channel_problem(
+                scheme, "D2Q9", (20, 12), tau=0.7, u_max=0.03,
+                backend=backend), steps=10)
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_lid_driven_cavity(self, scheme):
+        """Moving-wall cavity: solids + wall-velocity bounce-back."""
+        lat = get_lattice("D2Q9")
+        n = 10
+        wall_u = np.zeros((2, n, n))
+        wall_u[0, :, -1] = 0.05
+        bcs = [HalfwayBounceBack(wall_velocity=wall_u)]
+        drho, du = run_pair(
+            lambda backend: make_solver(scheme, lat, lid_driven_cavity(n),
+                                        0.8, boundaries=bcs,
+                                        backend=backend), steps=12)
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    def test_variable_tau_power_law(self):
+        """The per-node tau_field path reaches the aa MR core too."""
+        from repro.solver import PowerLawMRPSolver
+
+        lat = get_lattice("D2Q9")
+        rng = np.random.default_rng(11)
+        u0 = 0.04 * (rng.random((2, 14, 10)) - 0.5)
+
+        def build(backend):
+            return PowerLawMRPSolver(lat, periodic_box((14, 10)), 0.8, u0=u0,
+                                     consistency=0.06, exponent=0.8,
+                                     backend=backend)
+
+        drho, du = run_pair(build)
+        assert drho < MACHINE_EPS
+        assert du < MACHINE_EPS
+
+    def test_even_step_state_is_bit_exact(self):
+        """Even-time lattice state equals fused bit for bit, not just eps."""
+        build = random_periodic_builder("ST", "D2Q9", (16, 12))
+        ref, fast = build("fused"), build("aa")
+        ref.run(6)
+        fast.run(6)
+        assert np.array_equal(ref.f, fast.f)
+
+
+class TestAALayout:
+    """The component-shifted layout and its canonicalization helpers."""
+
+    @pytest.mark.parametrize("lattice_name,shape", [
+        ("D2Q9", (9, 7)),
+        ("D3Q19", (6, 5, 4)),
+    ])
+    def test_layout_round_trip_is_bit_exact(self, lattice_name, shape):
+        lat = get_lattice(lattice_name)
+        rng = np.random.default_rng(0)
+        f = rng.standard_normal((lat.q, *shape))
+        assert np.array_equal(aa_to_natural(lat, natural_to_aa(lat, f)), f)
+        assert np.array_equal(natural_to_aa(lat, aa_to_natural(lat, f)), f)
+
+    def test_odd_time_state_is_shifted(self):
+        """At odd lean times the persistent array is the AA layout."""
+        build = random_periodic_builder("ST", "D2Q9", (12, 10))
+        ref, fast = build("fused"), build("aa")
+        ref.run(5)
+        fast.run(5)
+        assert fast._aa_layout_is_shifted()
+        assert np.array_equal(aa_to_natural(fast.lat, fast.f), ref.f)
+
+    def test_scatter_strategies_bit_identical(self):
+        """Both scatter strategies realize the same exact permutation."""
+        build = random_periodic_builder("ST", "D3Q19", (6, 5, 4),
+                                        forced=True, solids=True)
+        states = []
+        for scat in ("fused", "copy"):
+            s = build("aa")
+            s._stepper = make_stepper(s)
+            s._stepper.core = InplaceSTCore(
+                s.lat, s.domain.shape, s.tau,
+                solid_mask=s._stepper._solid, scatter=scat)
+            s.run(5)
+            states.append(s.f.copy())
+        assert np.array_equal(states[0], states[1])
+
+    def test_macroscopic_does_not_mutate_state(self):
+        """Odd-parity macroscopic() converts a copy, not the live array."""
+        s = random_periodic_builder("ST", "D2Q9", (10, 8))("aa")
+        s.run(3)
+        before = s.f.copy()
+        s.macroscopic()
+        assert np.array_equal(s.f, before)
+
+
+class TestInplaceCheckpoint:
+    """Checkpoints are written natural-layout at any parity."""
+
+    @pytest.mark.parametrize("steps", [3, 5])
+    def test_odd_step_round_trip_bit_exact(self, tmp_path, steps):
+        build = random_periodic_builder("ST", "D2Q9", (12, 10))
+        s = build("aa")
+        s.run(steps)
+        path = save_checkpoint(tmp_path / "ck.npz", s)
+        fresh = build("aa")
+        restore_checkpoint(path, fresh)
+        assert fresh.time == steps
+        assert np.array_equal(fresh.f, s.f)
+        # and the continuation stays on the same bit-exact trajectory
+        s.run(4)
+        fresh.run(4)
+        assert np.array_equal(fresh.f, s.f)
+
+    def test_cross_backend_restore_at_odd_time(self, tmp_path):
+        """An aa checkpoint taken at odd parity resumes under fused."""
+        build = random_periodic_builder("ST", "D2Q9", (12, 10))
+        s = build("aa")
+        s.run(5)
+        path = save_checkpoint(tmp_path / "ck.npz", s)
+        other = build("fused")
+        restore_checkpoint(path, other)
+        other.run(3)
+        s.run(3)
+        assert np.array_equal(other.f, s.f)
+
+
+class TestInplaceContracts:
+    def test_aa_always_available(self):
+        assert "aa" in available_backends()
+
+    def test_state_values_per_node_halved_for_st(self):
+        st_aa = periodic_problem("ST", "D2Q9", (8, 8), 0.8, backend="aa")
+        st_fused = periodic_problem("ST", "D2Q9", (8, 8), 0.8,
+                                    backend="fused")
+        assert st_aa.state_values_per_node == st_aa.lat.q
+        assert st_fused.state_values_per_node == 2 * st_fused.lat.q
+
+    def test_mr_core_rejects_boundaries(self):
+        lat = get_lattice("D2Q9")
+        core = InplaceMRCore(lat, (8, 8), 0.8, scheme="MR-P")
+        solver = periodic_problem("MR-P", "D2Q9", (8, 8), 0.8)
+        with pytest.raises(ValueError, match="boundary"):
+            core.step(solver.m, [HalfwayBounceBack()], None)
+
+    def test_mr_core_guards_tau_field_to_mrp(self):
+        lat = get_lattice("D2Q9")
+        core = InplaceMRCore(lat, (8, 8), 0.8, scheme="MR-R")
+        solver = periodic_problem("MR-R", "D2Q9", (8, 8), 0.8)
+        with pytest.raises(ValueError, match="MR-P"):
+            core.step(solver.m, [], None,
+                      tau_field=np.full((8, 8), 0.8))
+
+    def test_unknown_scatter_strategy_rejected(self):
+        lat = get_lattice("D2Q9")
+        with pytest.raises(ValueError, match="scatter"):
+            InplaceSTCore(lat, (8, 8), 0.8, scatter="teleport")
+
+    def test_st_non_bgk_rejected_like_fused(self):
+        """aa shares the fused validation rules (ST is BGK-only)."""
+        from repro.core.collision import TRTCollision
+        from repro.solver import STSolver
+
+        lat = get_lattice("D2Q9")
+        with pytest.raises(ValueError, match="BGK"):
+            STSolver(lat, periodic_box((8, 8)), 0.8,
+                     collision=TRTCollision(0.8), backend="aa")

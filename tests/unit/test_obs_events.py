@@ -192,6 +192,32 @@ class TestSummarize:
         assert "done" in text and "error" in text
         assert "ValueError: injected" in text
 
+    def test_last_checkpoint_step_surfaces(self, tmp_path):
+        """The most recent checkpoint's step is summarized and rendered.
+
+        Regression: checkpoint events always carried their step, but the
+        summary only counted them — a watcher could not tell *where* a
+        crashed rank would resume from.
+        """
+        self._run(tmp_path, 0, "end")
+        summary = summarize_events(read_events(tmp_path))
+        assert summary["ranks"][0]["last_checkpoint_step"] == 5
+        text = format_watch(summary)
+        assert "ckpt" in text.splitlines()[0]
+        row = text.splitlines()[1]
+        assert row.split()[-1] == "5"
+
+    def test_ckpt_column_dash_without_checkpoints(self, tmp_path):
+        stream = EventStream(tmp_path, rank=0, clock=FakeClock())
+        emitter = RunEventEmitter(stream, every=5, n_steps=10, n_fluid=10)
+        emitter.start(pid=1)
+        emitter.maybe(10)
+        emitter.end(10, steps=10)
+        summary = summarize_events(read_events(tmp_path))
+        assert summary["ranks"][0]["last_checkpoint_step"] is None
+        row = format_watch(summary).splitlines()[1]
+        assert row.split()[-1] == "-"
+
     def test_empty_directory_summarizes_empty(self, tmp_path):
         summary = summarize_events(read_events(tmp_path))
         assert summary == {"ranks": {}, "n_ranks": 0, "all_done": False}
