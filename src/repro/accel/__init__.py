@@ -49,11 +49,16 @@ physics is rejected until it certifies its own compatibility)::
 ``"mr"`` moment representation with ``scheme`` ``"MR-P"``/``"MR-R"``).
 ``variable_tau: True`` means the solver exposes a grid-shaped
 ``tau_field`` and an ``_update_relaxation()`` hook, and the MR stepper
-runs the per-node relaxation path each step.
+runs the per-node relaxation path each step. ``batched: True``
+certifies the solver for lockstep ensemble execution through the
+batched cores of :mod:`repro.accel.batched` — its state arrays may be
+rebound to batch-array views and stepped by
+:class:`repro.ensemble.EnsembleRunner` instead of its own step method.
 """
 
 from __future__ import annotations
 
+from .batched import BatchedFusedMRCore, BatchedFusedSTCore
 from .fused import STREAM_MODES, FusedMRCore, FusedSTCore
 from .inplace import InplaceMRCore, InplaceSTCore, aa_to_natural, natural_to_aa
 from .numba_backend import HAS_NUMBA, NumbaMRCore, NumbaSTCore
@@ -67,6 +72,8 @@ __all__ = [
     "solver_caps",
     "FusedSTCore",
     "FusedMRCore",
+    "BatchedFusedSTCore",
+    "BatchedFusedMRCore",
     "InplaceSTCore",
     "InplaceMRCore",
     "natural_to_aa",

@@ -46,6 +46,15 @@ except ImportError:  # pragma: no cover - the common offline/CI path
 __all__ = ["HAS_NUMBA", "NumbaSTCore", "NumbaMRCore"]
 
 
+#: Nodes per parallel chunk in the JIT kernels. The per-node scratch
+#: vectors (``local``/``u``/``fvec``) are hoisted to one allocation per
+#: *chunk* instead of one per node, so a step performs ``O(N / _CHUNK)``
+#: tiny allocations rather than ``O(N)`` — the hot-path allocation bug.
+#: The value only has to be large enough to amortize the allocator call;
+#: it does not affect results (the arithmetic per node is unchanged).
+_CHUNK = 2048
+
+
 if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
 
     @numba.njit(parallel=True, fastmath=False, cache=True)
@@ -53,28 +62,34 @@ if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
         """Fused gather + BGK collide: one pass over the flat node axis."""
         q, n = src.shape
         d = c.shape[1]
-        for node in numba.prange(n):
+        n_chunks = (n + _CHUNK - 1) // _CHUNK
+        for chunk in numba.prange(n_chunks):
             local = np.empty(q)
-            rho = 0.0
-            for i in range(q):
-                val = f[i, src[i, node]]
-                local[i] = val
-                rho += val
-            u = np.zeros(d)
-            for i in range(q):
+            u = np.empty(d)
+            stop = min((chunk + 1) * _CHUNK, n)
+            for node in range(chunk * _CHUNK, stop):
+                rho = 0.0
+                for i in range(q):
+                    val = f[i, src[i, node]]
+                    local[i] = val
+                    rho += val
                 for a in range(d):
-                    u[a] += c[i, a] * local[i]
-            usq = 0.0
-            for a in range(d):
-                u[a] /= rho
-                usq += u[a] * u[a]
-            for i in range(q):
-                cu = 0.0
+                    u[a] = 0.0
+                for i in range(q):
+                    for a in range(d):
+                        u[a] += c[i, a] * local[i]
+                usq = 0.0
                 for a in range(d):
-                    cu += c[i, a] * u[a]
-                feq = w[i] * rho * (1.0 + cu / cs2 + cu * cu / (2.0 * cs4)
-                                    - usq / (2.0 * cs2))
-                out[i, node] = feq + keep * (local[i] - feq)
+                    u[a] /= rho
+                    usq += u[a] * u[a]
+                for i in range(q):
+                    cu = 0.0
+                    for a in range(d):
+                        cu += c[i, a] * u[a]
+                    feq = w[i] * rho * (1.0 + cu / cs2
+                                        + cu * cu / (2.0 * cs4)
+                                        - usq / (2.0 * cs2))
+                    out[i, node] = feq + keep * (local[i] - feq)
 
     @numba.njit(parallel=True, fastmath=False, cache=True)
     def _moment_fused_kernel(g, rcext, mm, src, m_out):
@@ -88,19 +103,22 @@ if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
         q, n = src.shape
         mext = rcext.shape[1]
         m_rows = mm.shape[0]
-        for node in numba.prange(n):
+        n_chunks = (n + _CHUNK - 1) // _CHUNK
+        for chunk in numba.prange(n_chunks):
             fvec = np.empty(q)
-            for i in range(q):
-                s = src[i, node]
-                acc = 0.0
-                for k in range(mext):
-                    acc += rcext[i, k] * g[k, s]
-                fvec[i] = acc
-            for r in range(m_rows):
-                acc = 0.0
+            stop = min((chunk + 1) * _CHUNK, n)
+            for node in range(chunk * _CHUNK, stop):
                 for i in range(q):
-                    acc += mm[r, i] * fvec[i]
-                m_out[r, node] = acc
+                    s = src[i, node]
+                    acc = 0.0
+                    for k in range(mext):
+                        acc += rcext[i, k] * g[k, s]
+                    fvec[i] = acc
+                for r in range(m_rows):
+                    acc = 0.0
+                    for i in range(q):
+                        acc += mm[r, i] * fvec[i]
+                    m_out[r, node] = acc
 
 
 def _require_numba() -> None:

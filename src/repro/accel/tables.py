@@ -61,6 +61,28 @@ class NeighborTable:
         self.src = src
         self.flat = (src + (np.arange(lat.q, dtype=np.intp)[:, None]
                             * self.n_nodes)).ravel()
+        # Table-owned reusable output buffers for ``gather(..., out=None)``
+        # calls, keyed by dtype (see :meth:`_owned_out`).
+        self._scratch: dict[np.dtype, list[np.ndarray]] = {}
+
+    def _owned_out(self, f: np.ndarray) -> np.ndarray:
+        """A table-owned ``(Q, *shape)`` buffer that does not alias ``f``.
+
+        Keeps a two-deep ring per dtype so the hot ping-pong idiom
+        ``f = table.gather(f)`` stabilizes at two buffers after warm-up
+        instead of allocating a fresh field every call (the
+        per-call-allocation hot-path bug); any buffer aliasing ``f`` —
+        e.g. the one handed out on the previous call — is skipped, never
+        clobbered.
+        """
+        bufs = self._scratch.setdefault(f.dtype, [])
+        for buf in bufs:
+            if buf is not f and not np.shares_memory(buf, f):
+                return buf
+        buf = np.empty((self.src.shape[0], *self.shape), dtype=f.dtype)
+        if len(bufs) < 2:
+            bufs.append(buf)
+        return buf
 
     def gather(self, f: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Stream a ``(Q, *shape)`` (or ``(Q, N)``) field in one gather.
@@ -69,13 +91,22 @@ class NeighborTable:
         the shared-displacement convention, ``stream_pull``) — the result
         is a pure permutation, so it matches the roll-based reference
         bit for bit. ``out`` must not alias ``f``.
+
+        When ``out`` is omitted the result lands in a **table-owned**
+        reusable buffer (a two-deep per-dtype ring): it stays valid until
+        the second subsequent ``out=None`` gather of the same dtype, which
+        supports ``f = table.gather(f)`` ping-ponging with zero
+        steady-state allocations. Callers that need the result to outlive
+        that window must pass their own ``out`` (or copy).
         """
-        q = self.src.shape[0]
         if out is None:
-            out = np.empty((q, *self.shape), dtype=f.dtype)
+            out = self._owned_out(f)
         if out is f or np.shares_memory(f, out):
             raise ValueError("gather cannot stream in place: out aliases f")
-        np.take(f.reshape(-1), self.flat, out=out.reshape(-1))
+        # mode="clip" is semantically a no-op (the indices are in-range
+        # by construction) but skips NumPy's bounce-buffer path for
+        # out= takes.
+        np.take(f.reshape(-1), self.flat, out=out.reshape(-1), mode="clip")
         return out
 
 

@@ -7,6 +7,9 @@ Subcommands
 ``bench``    Run the standard benchmark matrix, append to the BENCH_*.json
              trajectory and compare against the stored baseline.
 ``watch``    Tail the per-rank JSONL event streams of a (live) run dir.
+``sweep``    Expand a parameter grid into an ensemble and run member
+             batches of same-shape simulations through one fused kernel
+             (lockstep batched execution; see docs/TUTORIAL.md).
 ``tables``   Regenerate the paper's Tables 1-4.
 ``figures``  Regenerate the paper's Figures 2-3 (text rendering).
 ``summary``  Regenerate the headline claims (footprint, speedups, MR-R cost).
@@ -191,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--output", default="reproduction_report.md")
     rep.add_argument("--svg-dir", default=None,
                      help="also write the SVG figures into this directory")
+
+    swp = sub.add_parser(
+        "sweep", help="expand a parameter grid into an ensemble and run "
+        "member batches through one fused kernel (see docs/TUTORIAL.md)")
+    swp.add_argument("--problem", default="taylor-green",
+                     choices=["taylor-green", "forced-channel", "channel"])
+    swp.add_argument("--scheme", default="MR-P",
+                     help="comma-separated scheme list, e.g. MR-P,MR-R,ST")
+    swp.add_argument("--lattice", default="D2Q9",
+                     help="comma-separated lattice list")
+    swp.add_argument("--shape", default="48,48",
+                     help="semicolon-separated shape list of comma shapes, "
+                     "e.g. '48,48;64,64'")
+    swp.add_argument("--tau", default="0.8",
+                     help="comma-separated relaxation times, e.g. "
+                     "0.6,0.8,1.0")
+    swp.add_argument("--u-max", default="0.05",
+                     help="comma-separated peak velocities")
+    swp.add_argument("--steps", type=int, default=200)
+    swp.add_argument("--batch", type=int, default=16, metavar="B",
+                     help="max members per fused batch (1 = serial "
+                     "per-member execution, for comparison)")
+    swp.add_argument("--out", default=None, metavar="DIR",
+                     help="write per-member manifests and "
+                     "sweep_summary.json into DIR")
+    swp.add_argument("--json", default=None, metavar="PATH",
+                     help="also dump the sweep summary JSON to PATH")
 
     tune = sub.add_parser("tune", help="rank MR tile configurations")
     tune.add_argument("--lattice", default="D3Q19")
@@ -771,6 +801,52 @@ def _cmd_devices(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .ensemble import expand_sweep, run_sweep
+
+    try:
+        schemes = [s.strip() for s in args.scheme.split(",") if s.strip()]
+        lattices = [s.strip() for s in args.lattice.split(",") if s.strip()]
+        shapes = [tuple(int(v) for v in part.split(","))
+                  for part in args.shape.split(";") if part.strip()]
+        taus = [float(v) for v in args.tau.split(",") if v.strip()]
+        u_maxes = [float(v) for v in args.u_max.split(",") if v.strip()]
+        specs, dropped = expand_sweep(args.problem, schemes, lattices,
+                                      shapes, taus, u_maxes)
+        if not specs:
+            raise ValueError("the sweep grid is empty")
+        print(f"sweep '{args.problem}': {len(specs)} members "
+              f"({dropped} duplicates dropped), {args.steps} steps, "
+              f"batch size <= {args.batch}")
+        result = run_sweep(specs, args.steps, max_batch=args.batch,
+                           out_dir=args.out,
+                           progress=lambda line: print(f"  {line}"))
+    except (ValueError, RuntimeError) as err:
+        # Bad grid values or an ineligible member configuration — fail
+        # with a clean message, never a traceback.
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
+    summary = result.to_dict()
+    print(f"\n{summary['n_members']} members in {summary['n_batches']} "
+          f"batch(es), {result.wall_s:.2f} s wall, "
+          f"{summary['aggregate_mlups']:.2f} MLUPS aggregate")
+    for row in result.members:
+        print(f"  {row['scheme']:6s} {row['lattice']:6s} "
+              f"{str(tuple(row['shape'])):>12s} tau={row['tau']:<5g} "
+              f"u_max={row['options'].get('u_max', 0.0):<6g} "
+              f"batch={row['batch']} -> {row['mlups']:7.2f} MLUPS "
+              f"[{row['fingerprint']}]")
+    if args.out:
+        print(f"manifests + summary written to {args.out}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(summary, indent=2) + "\n",
+                                   encoding="utf-8")
+        print(f"summary JSON written to {args.json}")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .gpu import get_device
     from .lattice import get_lattice
@@ -865,6 +941,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "summary": _cmd_summary,
         "devices": _cmd_devices,
+        "sweep": _cmd_sweep,
         "tune": _cmd_tune,
         "report": _cmd_report,
         "validate": _cmd_validate,

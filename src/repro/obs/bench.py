@@ -51,6 +51,7 @@ __all__ = [
     "validate_record",
     "validate_trajectory",
     "compare_to_baseline",
+    "ONE_SAMPLE_THRESHOLD_FLOOR",
     "records_from_comparison",
     "format_records",
     "format_comparison",
@@ -103,7 +104,15 @@ def git_rev(repo_dir: str | Path | None = None) -> str:
 
 @dataclass(frozen=True)
 class BenchCell:
-    """One configuration of the benchmark matrix."""
+    """One configuration of the benchmark matrix.
+
+    ``batch > 1`` makes the cell a **batched-ensemble** measurement:
+    ``batch`` same-configuration members (``backend="fused"`` each) run
+    in lockstep through one :class:`repro.ensemble.EnsembleRunner` and
+    the cell reports *aggregate* MLUPS over all members. Batched cells
+    conventionally use ``backend="batched"`` so their trajectory history
+    never mixes with single-simulation cells of the same problem.
+    """
 
     scheme: str
     lattice: str
@@ -114,6 +123,7 @@ class BenchCell:
     repeats: int = 3
     ranks: int = 1
     tau: float = 0.8
+    batch: int = 1
 
     def key(self) -> tuple:
         """Identity of the cell for baseline matching across records."""
@@ -230,6 +240,32 @@ def _time_single(cell: BenchCell, warmup: int) -> tuple[float, int]:
     return best, int(solver.domain.n_fluid)
 
 
+def _time_batched(cell: BenchCell, warmup: int) -> tuple[float, int]:
+    """Min-of-k wall time of a ``batch``-member lockstep ensemble.
+
+    Builds ``cell.batch`` members of the cell's problem on the fused
+    backend, enrolls them in an :class:`repro.ensemble.EnsembleRunner`
+    and times ``cell.steps`` lockstep steps. Returns ``(best_s,
+    total_fluid_nodes)`` — the MLUPS computed from it is the ensemble
+    *aggregate* throughput.
+    """
+    from dataclasses import replace
+
+    from ..ensemble import EnsembleRunner
+
+    member_cell = replace(cell, backend="fused", batch=1)
+    members = [_build_cell_solver(member_cell) for _ in range(cell.batch)]
+    runner = EnsembleRunner(members)
+    if warmup > 0:
+        runner.run(warmup)
+    best = float("inf")
+    for _ in range(max(cell.repeats, 1)):
+        t0 = time.perf_counter()
+        runner.run(cell.steps)
+        best = min(best, time.perf_counter() - t0)
+    return best, sum(runner.member_fluid_nodes())
+
+
 def _time_distributed(cell: BenchCell, warmup: int) -> tuple[float, int]:
     """Min-of-k slowest-rank wall time over the process runtime."""
     from ..parallel import RunSpec, run_process
@@ -262,13 +298,20 @@ def run_cell(cell: BenchCell, suite: str = "default", device: str = "V100",
     roofline join (:func:`repro.obs.attain.attain_cell`) fills the
     model columns.
     """
-    if cell.ranks > 1:
+    if cell.batch > 1:
+        best, n_fluid = _time_batched(cell, warmup)
+    elif cell.ranks > 1:
         best, n_fluid = _time_distributed(cell, warmup)
     else:
         best, n_fluid = _time_single(cell, warmup)
     mlups = n_fluid * cell.steps / best / 1e6 if best > 0 else 0.0
     att = attain_cell(mlups, cell.scheme, cell.lattice, device=device,
                       host_gbs=host_gbs)
+    extra = {"host_gbs": att["host_gbs"], "bound": att["bound"]}
+    if cell.batch > 1:
+        # Recorded in ``extra`` so the strict RECORD_SCHEMA is untouched;
+        # mlups/n_fluid are ensemble aggregates over all members.
+        extra["batch"] = cell.batch
     return BenchRecord(
         suite=suite, scheme=cell.scheme, lattice=cell.lattice,
         backend=cell.backend, problem=cell.problem,
@@ -281,7 +324,7 @@ def run_cell(cell: BenchCell, suite: str = "default", device: str = "V100",
         model_mlups=att["model_mlups"],
         model_device=att["model_device"],
         git_rev=git_rev(), timestamp=time.time(),
-        extra={"host_gbs": att["host_gbs"], "bound": att["bound"]},
+        extra=extra,
     )
 
 
@@ -308,6 +351,8 @@ def default_suite(quick: bool = False) -> list[BenchCell]:
                       steps=4, repeats=2),
             BenchCell("MR-P", "D2Q9", "aa", "periodic", (48, 48),
                       steps=4, repeats=2),
+            BenchCell("MR-P", "D2Q9", "batched", "periodic", (32, 32),
+                      steps=4, repeats=2, batch=8),
         ]
     return [
         BenchCell("ST", "D2Q9", "reference", "periodic", (192, 192),
@@ -336,6 +381,8 @@ def default_suite(quick: bool = False) -> list[BenchCell]:
                   steps=10, repeats=3),
         BenchCell("MR-P", "D2Q9", "fused", "periodic", (128, 128),
                   steps=8, repeats=3, ranks=2),
+        BenchCell("MR-P", "D2Q9", "batched", "periodic", (32, 32),
+                  steps=10, repeats=3, batch=16),
     ]
 
 
@@ -414,6 +461,13 @@ def append_records(path: str | Path, records) -> dict:
 
 # -- regression sentinel ---------------------------------------------------
 
+#: Threshold floor applied when the baseline holds a single sample: one
+#: measurement carries no spread information (its observed spread is
+#: identically zero), so the band widens to this floor instead of
+#: trusting one possibly-noisy number at the default ``rel_threshold``.
+ONE_SAMPLE_THRESHOLD_FLOOR = 0.25
+
+
 def compare_to_baseline(baseline_records, new_records,
                         rel_threshold: float = 0.15,
                         baseline_window: int = 5) -> dict:
@@ -431,6 +485,17 @@ def compare_to_baseline(baseline_records, new_records,
     ``"regression"`` new MLUPS below ``baseline x (1 - threshold)``;
     ``"improved"``   new MLUPS above ``baseline x (1 + threshold)``;
     ``"ok"``         within the band.
+
+    Short-history edge cases are handled conservatively, never as false
+    regressions: a **first-ever cell** is always ``"new"`` (it cannot
+    regress against nothing); a **one-sample baseline** has no spread
+    estimate, so its threshold floor widens to
+    :data:`ONE_SAMPLE_THRESHOLD_FLOOR`; a history shorter than
+    ``baseline_window`` simply uses what exists (median of 1-4); and a
+    **non-positive baseline median** (degenerate records from a failed
+    or zero-timed prior run) makes the cell uncomparable — status
+    ``"ok"`` with ``ratio=None`` — rather than dividing by zero or
+    flagging everything.
 
     Every verdict carries the record's roofline attainment and its
     :func:`~repro.obs.attain.attainment_note`, so a red cell can be read
@@ -461,10 +526,20 @@ def compare_to_baseline(baseline_records, new_records,
         else:
             series = [p["mlups"] for p in prior]
             baseline = statistics.median(series)
-            spread = ((max(series) - min(series)) / baseline
-                      if baseline > 0 else 0.0)
+            if baseline <= 0:
+                # Degenerate history (zero/negative throughput records):
+                # there is nothing meaningful to compare against, and a
+                # division would either blow up or flag every healthy
+                # run — report uncomparable, never a regression.
+                verdict.update(status="ok", baseline_mlups=baseline,
+                               ratio=None, threshold=rel_threshold)
+                verdicts.append(verdict)
+                continue
+            spread = (max(series) - min(series)) / baseline
             threshold = max(rel_threshold, spread)
-            ratio = rec["mlups"] / baseline if baseline > 0 else 0.0
+            if len(series) < 2:
+                threshold = max(threshold, ONE_SAMPLE_THRESHOLD_FLOOR)
+            ratio = rec["mlups"] / baseline
             if ratio < 1.0 - threshold:
                 status = "regression"
                 regressions += 1
@@ -541,6 +616,9 @@ def _cell_label(rec: dict) -> str:
              f"{rec['problem']} {shape}")
     if rec.get("ranks", 1) > 1:
         label += f" x{rec['ranks']}r"
+    batch = rec.get("extra", {}).get("batch")
+    if batch:
+        label += f" x{batch}b"
     return label
 
 

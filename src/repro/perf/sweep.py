@@ -36,7 +36,28 @@ class TileCandidate:
 
 
 def _divisors(n: int, lo: int = 2, hi: int = 64) -> list[int]:
+    """Divisors of ``n`` in ``[lo, min(hi, n)]``."""
     return [d for d in range(lo, min(hi, n) + 1) if n % d == 0]
+
+
+def _cross_candidates(n: int, hi: int) -> list[int]:
+    """Legal tile extents along one cross axis, never empty.
+
+    The preferred candidates are the proper divisors in ``[2, hi]``; a
+    prime extent above ``hi`` (e.g. 67) has none, which used to yield an
+    empty candidate set and break ``sweep_tiles``/``best_tile`` on
+    perfectly valid domains. The fallback keeps such axes tunable:
+    extent-1 tiles are always legal (a degenerate but valid tiling), and
+    the full extent is offered when it fits within ``hi`` bounds checked
+    later by ``validate_launch``/``occupancy``.
+    """
+    divs = _divisors(n, hi=hi)
+    if divs:
+        return divs
+    fallback = [1]
+    if n != 1:
+        fallback.append(n)
+    return fallback
 
 
 def enumerate_tiles(lat: LatticeDescriptor, shape: tuple[int, ...],
@@ -47,16 +68,20 @@ def enumerate_tiles(lat: LatticeDescriptor, shape: tuple[int, ...],
 
     Legal means: extents divide the domain, the window height divides the
     window extent, and the launch satisfies the device's hard per-block
-    limits (threads, shared memory).
+    limits (threads, shared memory). Axes whose extent has no divisor in
+    the preferred range (prime extents above the cap) fall back to
+    extent-1 and full-extent tiles, so awkward domains still enumerate
+    (see :func:`_cross_candidates`); configurations the device cannot
+    launch are filtered as usual.
     """
     cross = shape[:-1]
     r = shape[-1]
     if len(cross) == 1:
-        cross_options = [(t,) for t in _divisors(cross[0])]
+        cross_options = [(t,) for t in _cross_candidates(cross[0], hi=64)]
     else:
         cross_options = [(tx, ty)
-                         for tx in _divisors(cross[0], hi=32)
-                         for ty in _divisors(cross[1], hi=32)]
+                         for tx in _cross_candidates(cross[0], hi=32)
+                         for ty in _cross_candidates(cross[1], hi=32)]
     out = []
     for tile in cross_options:
         for w_t in w_t_options:

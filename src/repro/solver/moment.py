@@ -92,8 +92,9 @@ class MRPSolver(_MomentSolver):
     """
 
     name = "MR-P"
-    #: Fast-path opt-in (see :mod:`repro.accel`).
-    accel_caps = {"family": "mr", "scheme": "MR-P"}
+    #: Fast-path opt-in (see :mod:`repro.accel`); ``batched`` certifies
+    #: lockstep ensembles (:class:`repro.ensemble.EnsembleRunner`).
+    accel_caps = {"family": "mr", "scheme": "MR-P", "batched": True}
 
     def __init__(self, *args, tau_bulk: float | None = None, **kwargs):
         self.tau_bulk = tau_bulk
@@ -116,8 +117,9 @@ class MRRSolver(_MomentSolver):
     """
 
     name = "MR-R"
-    #: Fast-path opt-in (see :mod:`repro.accel`).
-    accel_caps = {"family": "mr", "scheme": "MR-R"}
+    #: Fast-path opt-in (see :mod:`repro.accel`); ``batched`` certifies
+    #: lockstep ensembles (:class:`repro.ensemble.EnsembleRunner`).
+    accel_caps = {"family": "mr", "scheme": "MR-R", "batched": True}
 
     def _post_collision_f(self) -> np.ndarray:
         """Eqs. 10 + 12-13 collision then Eq. 14 reconstruction."""

@@ -28,7 +28,9 @@ class STSolver(Solver):
     name = "ST"
     #: Fast-path opt-in (see :mod:`repro.accel`). The kernels hard-code
     #: plain BGK; non-BGK collisions are caught by ``validate_backend``.
-    accel_caps = {"family": "st"}
+    #: ``batched`` additionally certifies lockstep ensemble execution
+    #: (:class:`repro.ensemble.EnsembleRunner`).
+    accel_caps = {"family": "st", "batched": True}
 
     def __init__(self, *args, collision: CollisionOperator | None = None, **kwargs):
         self._collision_override = collision

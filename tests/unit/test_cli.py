@@ -250,3 +250,53 @@ class TestWatchCommand:
         rc = main(["watch", str(run_dir)])
         assert rc == 0
         assert "1 rank(s), all done" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_runs_batched_grid(self, capsys, tmp_path):
+        rc = main(["sweep", "--problem", "taylor-green", "--scheme", "MR-P",
+                   "--lattice", "D2Q9", "--shape", "16,16",
+                   "--tau", "0.7,0.9,1.1", "--steps", "4",
+                   "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 members in 1 batch(es)" in out
+        assert "MLUPS aggregate" in out
+        assert (tmp_path / "sweep_summary.json").exists()
+        assert len(list(tmp_path.glob("member-*.json"))) == 3
+
+    def test_sweep_multiple_groups_and_json(self, capsys, tmp_path):
+        """Two shapes cannot share a batch; summary JSON is dumped."""
+        import json
+
+        out_json = tmp_path / "sweep.json"
+        rc = main(["sweep", "--problem", "taylor-green", "--scheme", "MR-P",
+                   "--lattice", "D2Q9", "--shape", "12,12;16,16",
+                   "--tau", "0.8,1.0", "--steps", "3",
+                   "--json", str(out_json)])
+        assert rc == 0
+        summary = json.loads(out_json.read_text())
+        assert summary["n_members"] == 4
+        assert summary["n_batches"] == 2
+        assert summary["duplicates_dropped"] == 0
+
+    def test_sweep_dedupes_fingerprints(self, capsys):
+        rc = main(["sweep", "--problem", "taylor-green",
+                   "--shape", "12,12", "--tau", "0.8,0.8", "--steps", "2"])
+        assert rc == 0
+        assert "(1 duplicates dropped)" in capsys.readouterr().out
+
+    def test_sweep_bad_grid_exits_2(self, capsys):
+        """taylor-green on a 3D lattice is a clean error, not a traceback."""
+        rc = main(["sweep", "--problem", "taylor-green",
+                   "--lattice", "D3Q19", "--shape", "8,8,8",
+                   "--steps", "2"])
+        assert rc == 2
+        assert "ERROR:" in capsys.readouterr().err
+
+    def test_sweep_forced_channel(self, capsys):
+        rc = main(["sweep", "--problem", "forced-channel", "--scheme", "ST",
+                   "--shape", "16,10", "--tau", "0.8,1.0",
+                   "--u-max", "0.04", "--steps", "3"])
+        assert rc == 0
+        assert "ST" in capsys.readouterr().out

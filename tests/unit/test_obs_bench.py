@@ -276,3 +276,83 @@ class TestMeasurement:
             validate_record(rec)
             assert rec["suite"] == "paper-bench"
             assert rec["extra"]["speedup"] is not None
+
+
+class TestShortHistoryEdgeCases:
+    """Audited short-history behavior of the comparator: a first-ever
+    cell can never be a regression and thin baselines widen their band."""
+
+    def test_empty_history_every_cell_is_new(self):
+        result = compare_to_baseline([], [make_record(mlups=1.0)])
+        v = result["verdicts"][0]
+        assert v["status"] == "new"
+        assert v["baseline_mlups"] is None and v["ratio"] is None
+        assert result["regressions"] == 0
+
+    def test_one_sample_baseline_uses_threshold_floor(self):
+        """One prior record has no spread estimate; a 20% wobble (well
+        within host-timing noise) must not read as a regression."""
+        from repro.obs.bench import ONE_SAMPLE_THRESHOLD_FLOOR
+
+        result = compare_to_baseline([make_record(mlups=100.0)],
+                                     [make_record(mlups=80.0)])
+        v = result["verdicts"][0]
+        assert v["n_baseline"] == 1
+        assert v["threshold"] == pytest.approx(ONE_SAMPLE_THRESHOLD_FLOOR)
+        assert v["status"] == "ok"
+
+    def test_one_sample_real_cliff_still_trips(self):
+        result = compare_to_baseline([make_record(mlups=100.0)],
+                                     [make_record(mlups=50.0)])
+        assert result["verdicts"][0]["status"] == "regression"
+
+    def test_history_shorter_than_window_is_used_as_is(self):
+        history = [make_record(mlups=m) for m in (99.0, 101.0)]
+        result = compare_to_baseline(history, [make_record(mlups=100.0)],
+                                     baseline_window=5)
+        v = result["verdicts"][0]
+        assert v["n_baseline"] == 2
+        assert v["status"] == "ok"
+        assert v["baseline_mlups"] == pytest.approx(100.0)
+
+    def test_zero_baseline_is_uncomparable_not_flagged(self):
+        """Degenerate (zero-MLUPS) history cannot flag healthy runs."""
+        result = compare_to_baseline([make_record(mlups=0.0)],
+                                     [make_record(mlups=100.0)])
+        v = result["verdicts"][0]
+        assert v["status"] == "ok" and v["ratio"] is None
+        assert result["regressions"] == 0
+
+
+class TestBatchedCell:
+    def test_batched_cell_produces_valid_record(self):
+        cell = BenchCell("MR-P", "D2Q9", "batched", "periodic", (16, 16),
+                         steps=2, repeats=1, batch=3)
+        rec = run_cell(cell, suite="unit", host_gbs=10.0, warmup=0)
+        d = rec.to_dict()
+        validate_record(d)
+        assert d["extra"]["batch"] == 3
+        assert d["backend"] == "batched"
+        # n_fluid counts the whole ensemble's updated nodes.
+        assert d["n_fluid"] == 3 * 16 * 16
+        assert d["mlups"] > 0
+
+    def test_batched_cell_key_excludes_batch(self):
+        """Trajectory identity comes from backend="batched", not B, so
+        retuning the batch size keeps one comparable history."""
+        a = BenchCell("MR-P", "D2Q9", "batched", "periodic", (32, 32),
+                      batch=8)
+        b = BenchCell("MR-P", "D2Q9", "batched", "periodic", (32, 32),
+                      batch=16)
+        assert a.key() == b.key()
+
+    def test_default_suites_carry_a_batched_cell(self):
+        quick, full = default_suite(quick=True), default_suite()
+        assert any(c.backend == "batched" and c.batch > 1 for c in quick)
+        assert any(c.backend == "batched" and c.batch > 1 for c in full)
+
+    def test_batched_label_rendering(self):
+        cell = BenchCell("MR-P", "D2Q9", "batched", "periodic", (16, 16),
+                         steps=2, repeats=1, batch=3)
+        rec = run_cell(cell, suite="unit", host_gbs=10.0, warmup=0)
+        assert "x3b" in format_records([rec])

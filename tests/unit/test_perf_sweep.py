@@ -88,3 +88,40 @@ class TestSweep:
         # w_t options that do not divide.
         with pytest.raises(ValueError, match="no legal"):
             best_tile(d3q27, (7, 7, 7), MI100, w_t_options=(4,))
+
+
+class TestPrimeExtentFallback:
+    """Regression: prime cross extents above the divisor cap must still
+    enumerate (via extent-1 / full-extent fallback tiles) instead of
+    silently yielding an empty candidate list."""
+
+    def test_prime_extent_2d(self):
+        d2 = get_lattice("D2Q9")
+        configs = enumerate_tiles(d2, (67, 64), V100)
+        assert configs, "prime cross extent 67 must not empty the sweep"
+        tiles = {t for t, _ in configs}
+        assert (1,) in tiles               # extent-1 fallback is legal
+        for tile, w_t in configs:
+            assert 67 % tile[0] == 0
+            assert 64 % w_t == 0
+
+    def test_prime_extent_3d(self, d3q19):
+        configs = enumerate_tiles(d3q19, (67, 67, 64), V100)
+        assert configs
+        assert {(1, 1)} <= {t for t, _ in configs}
+
+    def test_prime_extent_best_tile_succeeds(self, d3q19):
+        best = best_tile(d3q19, (67, 67, 64), V100)
+        assert 67 % best.tile_cross[0] == 0
+        assert best.mflups > 0
+
+    def test_composite_domains_keep_divisor_candidates(self, d3q19):
+        """The fallback must not disturb ordinary divisor enumeration."""
+        tiles = {t for t, _ in enumerate_tiles(d3q19, (64, 64, 64), V100)}
+        assert (8, 8) in tiles
+        assert (1, 1) not in tiles         # fallback only when needed
+
+    def test_empty_ranking_raises_clear_error(self, d3q27):
+        """best_tile names lattice, device and domain when nothing fits."""
+        with pytest.raises(ValueError, match=r"no legal tile.*D3Q27.*MI100"):
+            best_tile(d3q27, (7, 7, 7), MI100, w_t_options=(4,))
