@@ -21,6 +21,15 @@ faster realizations of the *same* steps, selected per solver via
     memory-traffic model is derived in ``docs/ALGORITHMS.md``. Always
     available; falls back to conservative fused-identical steps when
     boundary objects are present.
+``"sparse"``
+    Compact-state kernels (:mod:`repro.accel.sparse`) for sparse
+    geometries: the working state shrinks to the fluid-node index list
+    of a :class:`~repro.accel.tables.MaskedNeighborTable`, streaming is
+    one bounce-back-folded gather, and the fused collision dgemms run
+    over ``n_fluid`` columns instead of the dense grid. Always
+    available; the win scales with the solid fraction (see
+    ``docs/ALGORITHMS.md``). Boundaries with custom post-collide hooks
+    (full-way bounce-back) are rejected.
 ``"numba"``
     JIT kernels (:mod:`repro.accel.numba_backend`) that fuse the
     table-driven streaming gather into the adjacent compute stage.
@@ -62,7 +71,9 @@ from .batched import BatchedFusedMRCore, BatchedFusedSTCore
 from .fused import STREAM_MODES, FusedMRCore, FusedSTCore
 from .inplace import InplaceMRCore, InplaceSTCore, aa_to_natural, natural_to_aa
 from .numba_backend import HAS_NUMBA, NumbaMRCore, NumbaSTCore
-from .tables import NeighborTable, clear_cache, neighbor_table, stream_gather
+from .sparse import SparseMRCore, SparseSTCore
+from .tables import (MaskedNeighborTable, NeighborTable, clear_cache,
+                     neighbor_table, stream_gather)
 
 __all__ = [
     "BACKENDS",
@@ -80,7 +91,10 @@ __all__ = [
     "aa_to_natural",
     "NumbaSTCore",
     "NumbaMRCore",
+    "SparseSTCore",
+    "SparseMRCore",
     "NeighborTable",
+    "MaskedNeighborTable",
     "neighbor_table",
     "stream_gather",
     "clear_cache",
@@ -88,8 +102,9 @@ __all__ = [
     "STREAM_MODES",
 ]
 
-#: Recognized backend names, in preference order.
-BACKENDS = ("reference", "fused", "aa", "numba")
+#: Recognized backend names, in preference order (numba last so that
+#: :func:`available_backends` can drop it when the extra is missing).
+BACKENDS = ("reference", "fused", "aa", "sparse", "numba")
 
 
 def available_backends() -> tuple[str, ...]:
@@ -213,6 +228,45 @@ class _InplaceMRStepper:
                        tau_field=tau_field)
 
 
+class _SparseSTStepper:
+    """Binds a :class:`SparseSTCore` to an ST solver (compact fluid state)."""
+
+    backend = "sparse"
+
+    def __init__(self, solver):
+        self.core = SparseSTCore(solver.lat, solver.domain.solid_mask,
+                                 solver.tau, boundaries=solver.boundaries)
+
+    def step(self, solver) -> None:
+        """One compact-state ST step updating ``solver.f`` in place."""
+        self.core.step(solver.f, solver.boundaries, solver.telemetry,
+                       force=solver.force)
+
+
+class _SparseMRStepper:
+    """Binds a :class:`SparseMRCore` to an MR solver (compact fluid state)."""
+
+    backend = "sparse"
+
+    def __init__(self, solver, scheme: str, variable_tau: bool = False):
+        self.core = SparseMRCore(
+            solver.lat, solver.domain.solid_mask, solver.tau, scheme=scheme,
+            tau_bulk=None if variable_tau
+            else getattr(solver, "tau_bulk", None),
+            boundaries=solver.boundaries)
+        self.variable_tau = variable_tau
+
+    def step(self, solver) -> None:
+        """One compact-state MR step updating ``solver.m`` in place."""
+        tau_field = None
+        if self.variable_tau:
+            with solver.telemetry.phase("collide"):
+                solver._update_relaxation()
+            tau_field = solver.tau_field
+        self.core.step(solver.m, solver.boundaries, solver.telemetry,
+                       force=solver.force, tau_field=tau_field)
+
+
 class _NumbaSTStepper:
     """Binds a :class:`NumbaSTCore` to an ST solver (periodic BGK only)."""
 
@@ -315,6 +369,20 @@ def validate_backend(solver, backend: str | None = None) -> dict | None:
         # fallback, so no extra restrictions apply.
         return caps
 
+    if backend == "sparse":
+        # The compact-state step has no post-collide stage on the dense
+        # field, so boundaries that hook it (full-way bounce-back) have
+        # nowhere to run; everything else folds or falls back densely.
+        from ..boundary.base import Boundary
+
+        for b in solver.boundaries:
+            if type(b).post_collide is not Boundary.post_collide:
+                raise _reject(
+                    solver, backend,
+                    f"{type(b).__name__} customizes the post-collide hook, "
+                    "which the compact-state sparse step does not run")
+        return caps
+
     # backend == "numba"
     if not HAS_NUMBA:
         raise RuntimeError(
@@ -358,6 +426,11 @@ def make_stepper(solver, backend: str | None = None):
             return _InplaceSTStepper(solver)
         return _InplaceMRStepper(solver, caps["scheme"],
                                  variable_tau=variable_tau)
+    if backend == "sparse":
+        if family == "st":
+            return _SparseSTStepper(solver)
+        return _SparseMRStepper(solver, caps["scheme"],
+                                variable_tau=variable_tau)
     if family == "st":
         return _NumbaSTStepper(solver)
     return _NumbaMRStepper(solver, caps["scheme"],

@@ -1,0 +1,274 @@
+"""Sparse-geometry compact-state kernels (the ``"sparse"`` backend).
+
+Every other host backend streams dense rectangular ``(Q, *grid)`` arrays,
+so a domain that is 10% fluid — cylinder arrays, porous media — spends
+~90% of its bandwidth and its collision FLOPs on solid nodes whose state
+is pinned anyway. Following the fluid-node index lists of Tomczak &
+Szafran's sparse-geometry GPU LBM (see PAPERS.md), the cores here compact
+the working state to ``(Q, n_fluid)`` over a
+:class:`~repro.accel.tables.MaskedNeighborTable` and run the *same*
+collision arithmetic as the fused backend — literally the same
+:class:`~repro.accel.fused.FusedSTCore` / ``FusedMRCore`` methods, bound
+to a flat ``(n_fluid,)`` shape — over fluid columns only:
+
+* **streaming** is one ``np.take`` through the masked table, whose
+  solid-source links are *bounce-back-folded*: the gather itself realizes
+  half-way bounce-back, so walls cost nothing on top of propagation;
+* **collision** (moment projection, equilibrium reconstruction, BGK /
+  MR-P / MR-R relaxation, Guo forcing, per-node ``tau_field``) runs as
+  BLAS dgemms over ``n_fluid`` columns instead of ``N``;
+* the **dense solver state** (``solver.f`` for ST, ``solver.m`` for MR)
+  stays authoritative: fluid columns are gathered at the top of the step
+  and scattered back at the bottom, so checkpoints, monitors, forces and
+  the distributed ghost exchange see exactly the arrays they always saw.
+  Solid columns are never touched and keep their pinned rest values from
+  initialization — bit-identical to the fused kernels' per-step pinning.
+
+Boundary handling has two tiers. A boundary list that is empty or a
+single plain :class:`~repro.boundary.HalfwayBounceBack` (moving walls
+included) folds entirely into the gather table — the *lean* path, which
+never materializes a dense distribution field. Any other post-stream
+boundary (velocity inlets, pressure outlets, ...) routes the step through
+a *dense fallback* that scatters, streams densely, runs the unchanged
+hook objects, and re-compacts — collision still runs compact, so the
+geometry win survives partial boundary coverage. Boundaries with custom
+post-collide hooks (full-way bounce-back) are rejected up front by
+:func:`repro.accel.validate_backend`.
+
+Traffic model (docs/ALGORITHMS.md derives the full version): the lean ST
+step moves ``3 Q + D`` doubles per *fluid* node plus ``Q`` 8-byte table
+indices, against ``4 Q`` doubles per *dense* node for the fused
+two-lattice step — so compact streaming wins whenever the fluid fraction
+``phi`` is below roughly ``4Q / (3Q + D + Q_idx)``, i.e. for every
+``phi < ~0.9`` geometry, with the gap widening linearly as ``phi`` drops.
+
+Machine-precision parity with the fused backend on masked problems is
+pinned by ``tests/unit/test_accel_sparse.py`` and the hypothesis suite in
+``tests/property/test_props_sparse.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.streaming import stream_push
+from ..lattice import LatticeDescriptor
+from ..obs.telemetry import NULL_TELEMETRY
+from .fused import FusedMRCore, FusedSTCore
+from .tables import MaskedNeighborTable
+
+__all__ = ["SparseSTCore", "SparseMRCore", "boundaries_fold"]
+
+
+def boundaries_fold(boundaries) -> bool:
+    """True when the boundary list folds entirely into the gather table.
+
+    Foldable means no boundaries at all, or exactly one plain
+    :class:`~repro.boundary.HalfwayBounceBack` (exact type — a subclass
+    may override its hooks). Anything else routes the step through the
+    dense fallback that runs the unchanged hook objects.
+    """
+    from ..boundary.bounceback import HalfwayBounceBack
+
+    if not boundaries:
+        return True
+    return len(boundaries) == 1 and type(boundaries[0]) is HalfwayBounceBack
+
+
+def _folded_momentum(table: MaskedNeighborTable, lat: LatticeDescriptor,
+                     bb, shape: tuple[int, ...]):
+    """Compact per-component moving-wall momentum terms of a bound wall.
+
+    Reuses the bound boundary's own precomputed link targets and
+    ``2 w_i rho0 (c_i . u_w) / cs2`` values (both enumerated in C order,
+    matching the compact node order), so the folded adds are value- and
+    order-identical to the dense hook's.
+    """
+    if bb is None or bb.wall_velocity is None:
+        return None
+    terms = []
+    for q in range(lat.q):
+        idx, mom = bb._targets[q], bb._momentum[q]
+        if idx is None or mom is None:
+            terms.append(None)
+            continue
+        flat = np.ravel_multi_index(idx, shape)
+        terms.append((table.dense_to_compact[flat], np.asarray(mom)))
+    return terms
+
+
+class _SparseCoreBase:
+    """Shared compaction plumbing of the two sparse cores."""
+
+    def __init__(self, lat: LatticeDescriptor, solid_mask: np.ndarray,
+                 boundaries=()):
+        self.lat = lat
+        self.shape = tuple(solid_mask.shape)
+        self.table = MaskedNeighborTable(lat, solid_mask)
+        self.lean = boundaries_fold(boundaries)
+        self._bb = (boundaries[0] if (self.lean and boundaries) else None)
+        self._mom = _folded_momentum(self.table, lat, self._bb, self.shape)
+        self._ffc = None        # compact (D, n_fluid) force buffer
+        self._fidx = None       # dense gather indices for the force field
+        self._tfc = None        # compact (n_fluid,) tau_field buffer
+        self._tidx = None
+
+    def _compact_force(self, force: np.ndarray | None) -> np.ndarray | None:
+        """Gather the fluid columns of the dense ``(D, *grid)`` force."""
+        if force is None:
+            return None
+        if self._ffc is None:
+            self._ffc = np.empty((self.lat.d, self.table.n_fluid))
+            self._fidx = self.table.field_idx(self.lat.d)
+        np.take(force.reshape(-1), self._fidx,
+                out=self._ffc.reshape(-1), mode="clip")
+        return self._ffc
+
+    def _compact_tau(self, tau_field: np.ndarray | None) -> np.ndarray | None:
+        """Gather the fluid entries of a dense per-node ``tau_field``."""
+        if tau_field is None:
+            return None
+        if self._tfc is None:
+            self._tfc = np.empty(self.table.n_fluid)
+            self._tidx = self.table.fluid_flat
+        np.take(tau_field.reshape(-1), self._tidx,
+                out=self._tfc, mode="clip")
+        return self._tfc
+
+    def _apply_folded(self, fc: np.ndarray, rest: np.ndarray) -> None:
+        """Finish the folded links of a freshly gathered compact field.
+
+        Without a bounce-back wall the folded reflections are overwritten
+        with the rest values ``rest[q]`` — exactly what the dense kernels
+        stream out of their pinned solid nodes. With a moving wall the
+        precomputed momentum terms are added on top of the reflections.
+        """
+        if self._bb is None:
+            for q, links in enumerate(self.table.solid_links):
+                if links.size:
+                    fc[q, links] = rest[q]
+        elif self._mom is not None:
+            for q, term in enumerate(self._mom):
+                if term is not None:
+                    tgt, mom = term
+                    fc[q, tgt] += mom
+
+
+class SparseSTCore(_SparseCoreBase):
+    """Compact-state fused ST step (two-lattice BGK over fluid nodes only).
+
+    The lean step is: one folded gather straight from the dense lattice
+    into the compact streamed field, the fused moment-space BGK collision
+    over ``n_fluid`` columns (shared :class:`FusedSTCore` arithmetic, so
+    the trajectory matches the fused backend to machine precision), and
+    one scatter of the post-collision values back into the dense fluid
+    columns. Solid columns of ``f`` keep their pinned ``w_i`` forever.
+    """
+
+    def __init__(self, lat: LatticeDescriptor, solid_mask: np.ndarray,
+                 tau: float, boundaries=()):
+        super().__init__(lat, solid_mask, boundaries)
+        n = self.table.n_fluid
+        self.arith = FusedSTCore(lat, (n,), tau)
+        self._fc = np.empty((lat.q, n))        # streamed compact field
+        self._fc_star = np.empty((lat.q, n))   # post-collision compact field
+        self._rest = np.ascontiguousarray(lat.w, dtype=np.float64)
+        self._dense_scratch = (None if self.lean
+                               else np.empty((lat.q, *self.shape)))
+
+    def step(self, f: np.ndarray, boundaries, tel=NULL_TELEMETRY,
+             force: np.ndarray | None = None) -> None:
+        """Advance the dense ``(Q, *grid)`` lattice ``f`` one step in place."""
+        lat = self.lat
+        table = self.table
+        if self.lean:
+            with tel.phase("stream"):
+                table.gather_dense(f, self._fc)
+                self._apply_folded(self._fc, self._rest)
+        else:
+            with tel.phase("stream"):
+                stream_push(lat, f, out=self._dense_scratch)
+            with tel.phase("boundary"):
+                for b in boundaries:
+                    b.post_stream(lat, self._dense_scratch, f)
+            with tel.phase("stream"):
+                table.compact(self._dense_scratch, self._fc)
+        with tel.phase("collide"):
+            ffc = self._compact_force(force)
+            arith = self.arith
+            arith._moments_and_feq(self._fc, ffc)
+            out = self._fc_star
+            np.subtract(self._fc, arith._feq, out=out)
+            out *= arith.keep
+            out += arith._feq
+            if ffc is not None:
+                arith._add_guo_source(out, ffc)
+            table.scatter(out, f)
+
+
+class SparseMRCore(_SparseCoreBase):
+    """Compact-state fused MR step (MR-P / MR-R over fluid nodes only).
+
+    Algorithm 2 with every stage restricted to the compact node list:
+    moment-space collision and Eq. 11/14 reconstruction as dgemms over
+    ``n_fluid`` columns (shared :class:`FusedMRCore` arithmetic), one
+    folded compact gather for streaming + bounce-back, and the Eq. 1-3
+    re-projection scattered back into the dense moment field. Solid
+    columns of ``m`` keep their pinned ``(1, 0, ..., 0)`` forever.
+    """
+
+    def __init__(self, lat: LatticeDescriptor, solid_mask: np.ndarray,
+                 tau: float, scheme: str = "MR-P",
+                 tau_bulk: float | None = None, boundaries=()):
+        super().__init__(lat, solid_mask, boundaries)
+        n = self.table.n_fluid
+        self.arith = FusedMRCore(lat, (n,), tau, scheme=scheme,
+                                 tau_bulk=tau_bulk, alloc_f=False)
+        self._mc = np.empty((lat.n_moments, n))
+        self._fc_star = np.empty((lat.q, n))
+        self._fc = np.empty((lat.q, n))
+        self._midx = self.table.field_idx(lat.n_moments)
+        # Rest-state reconstruction column: exactly what the dense matmul
+        # streams out of a pinned solid node (== w_i analytically).
+        self._rest = np.ascontiguousarray(self.arith._rcext[:, 0])
+        if self.lean:
+            self._dense_star = self._dense_new = None
+        else:
+            # Dense fallback pair; solid columns of the post-collision
+            # field hold the rest reconstruction permanently, matching
+            # the fused kernels' pinned-moment reconstruction.
+            self._dense_star = np.empty((lat.q, *self.shape))
+            self._dense_star[...] = self._rest.reshape(
+                (lat.q,) + (1,) * len(self.shape))
+            self._dense_new = np.empty_like(self._dense_star)
+
+    def step(self, m: np.ndarray, boundaries, tel=NULL_TELEMETRY,
+             force: np.ndarray | None = None,
+             tau_field: np.ndarray | None = None) -> None:
+        """Advance the dense ``(M, *grid)`` moment field ``m`` one step in place."""
+        lat = self.lat
+        table = self.table
+        arith = self.arith
+        with tel.phase("collide"):
+            np.take(m.reshape(-1), self._midx,
+                    out=self._mc.reshape(-1), mode="clip")
+            arith._collide(self._mc,
+                           force=self._compact_force(force),
+                           tau_field=self._compact_tau(tau_field))
+            np.matmul(arith._rcext, arith._g, out=self._fc_star)
+        if self.lean:
+            with tel.phase("stream"):
+                table.gather_compact(self._fc_star, self._fc)
+                self._apply_folded(self._fc, self._rest)
+        else:
+            with tel.phase("stream"):
+                table.scatter(self._fc_star, self._dense_star)
+                stream_push(lat, self._dense_star, out=self._dense_new)
+            with tel.phase("boundary"):
+                for b in boundaries:
+                    b.post_stream(lat, self._dense_new, self._dense_star)
+            with tel.phase("stream"):
+                table.compact(self._dense_new, self._fc)
+        with tel.phase("macroscopic"):
+            np.matmul(arith._mm, self._fc, out=self._mc)
+            table.scatter(self._mc, m)

@@ -24,7 +24,8 @@ import numpy as np
 
 from ..lattice import LatticeDescriptor
 
-__all__ = ["NeighborTable", "neighbor_table", "clear_cache", "stream_gather"]
+__all__ = ["NeighborTable", "MaskedNeighborTable", "neighbor_table",
+           "clear_cache", "stream_gather"]
 
 
 class NeighborTable:
@@ -108,6 +109,129 @@ class NeighborTable:
         # out= takes.
         np.take(f.reshape(-1), self.flat, out=out.reshape(-1), mode="clip")
         return out
+
+
+class MaskedNeighborTable:
+    """Compact fluid-node streaming table with bounce-back-folded solid links.
+
+    The dense :class:`NeighborTable` realizes periodic streaming over the
+    *whole* rectangular grid; on a domain that is mostly solid that wastes
+    most of every pass. This table compacts the fluid-like nodes (fluid +
+    inlet + outlet, i.e. ``~solid``) into one index list of length
+    ``n_fluid`` — the indirect-addressing layout of Tomczak & Szafran's
+    sparse-geometry GPU LBM — and precomputes, per ``(component, compact
+    node)`` pair, where the streamed value comes from:
+
+    * a **fluid-source link** gathers component ``q`` from the compact
+      index of the periodic neighbour ``x - c_q``, exactly the Eq. 7
+      displacement of the dense table;
+    * a **solid-source link** is *folded*: it gathers component
+      ``opposite[q]`` from the *same* compact node, which is precisely the
+      half-way bounce-back pull
+      (:class:`repro.boundary.HalfwayBounceBack.post_stream` reflects
+      ``f_source[opposite[q]]`` at the target node). Cores that stream a
+      problem *without* a bounce-back boundary overwrite those entries with
+      the rest-equilibrium weights instead (see :attr:`solid_links`),
+      matching the dense kernels' pinned solid nodes.
+
+    Attributes
+    ----------
+    fluid_flat:
+        ``(n_fluid,)`` flat dense node indices of the compact list, in C
+        order — the scatter/gather map between dense ``(Q, *shape)``
+        fields and compact ``(Q, n_fluid)`` fields.
+    dense_to_compact:
+        ``(n_nodes,)`` inverse map (``-1`` at solid nodes).
+    src / src_comp:
+        ``(Q, n_fluid)`` compact source index and source component per
+        link (bounce-back-folded at solid links).
+    flat_compact:
+        ``src_comp * n_fluid + src`` — one ``np.take`` over a raveled
+        compact ``(Q, n_fluid)`` field performs the whole (folded)
+        propagation step.
+    flat_dense:
+        The same gather expressed against the raveled dense ``(Q,
+        n_nodes)`` field, so a core whose persistent state is dense can
+        fuse compaction and streaming into a single ``np.take``.
+    solid_links:
+        Per-component arrays of compact target indices whose source node
+        is solid — the folded links. Used for the rest-equilibrium
+        overwrite and for moving-wall momentum terms.
+    """
+
+    def __init__(self, lat: LatticeDescriptor, solid_mask: np.ndarray):
+        solid = np.asarray(solid_mask, dtype=bool)
+        if solid.ndim != lat.d:
+            raise ValueError(
+                f"solid mask dimension {solid.ndim} does not match lattice "
+                f"dimension {lat.d}"
+            )
+        self.lat_name = lat.name
+        self.shape = solid.shape
+        self.n_nodes = int(solid.size)
+        fluid = ~solid
+        self.fluid_flat = np.flatnonzero(fluid.ravel())
+        self.n_fluid = int(self.fluid_flat.size)
+        if self.n_fluid == 0:
+            raise ValueError("mask has no fluid nodes to compact")
+        self.dense_to_compact = np.full(self.n_nodes, -1, dtype=np.intp)
+        self.dense_to_compact[self.fluid_flat] = np.arange(
+            self.n_fluid, dtype=np.intp)
+
+        # Dense flat index of the periodic source node x - c_q for every
+        # compact node x (same arithmetic as NeighborTable, restricted to
+        # the fluid rows).
+        dense = neighbor_table(lat, self.shape)
+        src_dense = dense.src[:, self.fluid_flat]          # (Q, n_fluid)
+        src_is_solid = ~fluid.ravel()[src_dense]
+
+        self.src = self.dense_to_compact[src_dense]
+        self.src_comp = np.broadcast_to(
+            np.arange(lat.q, dtype=np.intp)[:, None],
+            self.src.shape).copy()
+        self.solid_links: list[np.ndarray] = []
+        self_idx = np.arange(self.n_fluid, dtype=np.intp)
+        for q in range(lat.q):
+            links = np.flatnonzero(src_is_solid[q])
+            self.solid_links.append(links)
+            # Fold: pull opposite[q] at the target node itself.
+            self.src[q, links] = self_idx[links]
+            self.src_comp[q, links] = lat.opposite[q]
+        self.flat_compact = (self.src_comp * self.n_fluid + self.src).ravel()
+        self.flat_dense = (self.src_comp * self.n_nodes
+                           + self.fluid_flat[self.src]).ravel()
+        # Flat dense indices of every (component, fluid node) pair — the
+        # one-take compaction map for (Q, N) and (D, N) fields.
+        self.compact_idx = (np.arange(lat.q, dtype=np.intp)[:, None]
+                            * self.n_nodes + self.fluid_flat).ravel()
+
+    def field_idx(self, n_components: int) -> np.ndarray:
+        """Flat dense gather indices compacting an ``(n_components, N)`` field."""
+        return (np.arange(n_components, dtype=np.intp)[:, None]
+                * self.n_nodes + self.fluid_flat).ravel()
+
+    def gather_compact(self, fc: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Stream a compact ``(Q, n_fluid)`` field (folded links included)."""
+        np.take(fc.reshape(-1), self.flat_compact, out=out.reshape(-1),
+                mode="clip")
+        return out
+
+    def gather_dense(self, f: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Stream a dense ``(Q, *shape)`` field straight into compact form."""
+        np.take(f.reshape(-1), self.flat_dense, out=out.reshape(-1),
+                mode="clip")
+        return out
+
+    def compact(self, f: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Gather the fluid columns of a dense ``(Q, *shape)`` field."""
+        np.take(f.reshape(-1), self.compact_idx, out=out.reshape(-1),
+                mode="clip")
+        return out
+
+    def scatter(self, fc: np.ndarray, f: np.ndarray) -> np.ndarray:
+        """Write a compact ``(Q, n_fluid)`` field into the dense fluid columns."""
+        f.reshape(fc.shape[0], -1)[:, self.fluid_flat] = fc
+        return f
 
 
 #: Cache of built tables, keyed by (lattice name, grid shape).

@@ -1,7 +1,9 @@
-"""Boundary conditions: bounce-back walls, velocity inlets, pressure outlets."""
+"""Boundary conditions: bounce-back walls (straight and curved), velocity
+inlets, pressure outlets."""
 
 from .base import Boundary, Plane
 from .bounceback import FullwayBounceBack, HalfwayBounceBack
+from .curved import InterpolatedBounceBack, circle_sdf, sphere_sdf
 from .inletoutlet import PressureOutlet, VelocityInlet
 
 __all__ = [
@@ -9,6 +11,9 @@ __all__ = [
     "Plane",
     "HalfwayBounceBack",
     "FullwayBounceBack",
+    "InterpolatedBounceBack",
+    "circle_sdf",
+    "sphere_sdf",
     "VelocityInlet",
     "PressureOutlet",
 ]

@@ -99,12 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="check for NaN/Inf/over-speed divergence every N "
                      "steps (0 = off)")
     run.add_argument("--accel", default="reference",
-                     choices=["reference", "fused", "aa", "numba"],
+                     choices=["reference", "fused", "aa", "sparse", "numba"],
                      help="execution backend for the solver step: the "
                      "reference implementation, the fused NumPy fast "
                      "path, the single-lattice in-place streaming path "
-                     "(aa), or the numba JIT kernels (optional extra); "
-                     "see docs/PERFORMANCE.md")
+                     "(aa), the sparse fluid-node-list path for masked "
+                     "geometries, or the numba JIT kernels (optional "
+                     "extra); see docs/PERFORMANCE.md")
     run.add_argument("--events", default=None, metavar="DIR",
                      help="append per-rank JSONL event streams "
                      "(heartbeat/progress/phase/checkpoint/watchdog) "
@@ -128,15 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--json", default=None, metavar="PATH",
                       help="also dump the raw profile results as JSON")
     prof.add_argument("--accel", default="reference",
-                      choices=["reference", "fused", "aa", "numba", "compare"],
+                      choices=["reference", "fused", "aa", "sparse", "numba",
+                               "compare"],
                       help="execution backend to profile, or 'compare' to "
                       "run every available backend on one problem and "
                       "report MLUPS side by side")
     prof.add_argument("--problem", default="periodic",
-                      choices=["periodic", "forced-channel", "power-law"],
+                      choices=["periodic", "forced-channel", "power-law",
+                               "cylinder"],
                       help="workload for --accel compare: a periodic box, "
-                      "a body-force-driven channel, or the power-law "
-                      "(variable-tau) channel")
+                      "a body-force-driven channel, the power-law "
+                      "(variable-tau) channel, or a channel with a "
+                      "cylinder obstacle (masked geometry)")
 
     bench = sub.add_parser(
         "bench", help="run the benchmark matrix; append to the "
@@ -239,7 +243,7 @@ def _distributed_spec(args, shape):
     if accel == "numba":
         raise ValueError(
             "--accel numba is single-domain only; distributed runs "
-            "support --accel reference, fused or aa")
+            "support --accel reference, fused, aa or sparse")
     fault_tolerance = {
         "checkpoint_dir": args.checkpoint_dir,
         "checkpoint_every": args.checkpoint_every,

@@ -11,6 +11,7 @@ from .domain import (
     cylinder_in_channel,
     lid_driven_cavity,
     periodic_box,
+    porous_medium,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "channel_3d",
     "lid_driven_cavity",
     "cylinder_in_channel",
+    "porous_medium",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "channel_3d",
     "lid_driven_cavity",
     "cylinder_in_channel",
+    "porous_medium",
 ]
 
 FLUID: int = 0
@@ -179,4 +180,26 @@ def cylinder_in_channel(nx: int, ny: int, cx: float, cy: float, radius: float,
     nt = np.array(base.node_type)
     x, y = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
     nt[(x - cx) ** 2 + (y - cy) ** 2 <= radius ** 2] = SOLID
+    return Domain(nt)
+
+
+def porous_medium(shape: tuple[int, ...], solid_fraction: float = 0.85,
+                  seed: int = 0) -> Domain:
+    """Periodic random porous medium with a prescribed solid fraction.
+
+    Each node is independently solid with probability ``solid_fraction``
+    (seeded, so geometries are reproducible). The low-fluid-fraction
+    regime is the home turf of the ``"sparse"`` backend — the benchmark
+    suite uses this factory for its sparse-vs-dense cells — and the
+    random microstructure drives the Darcy-flow integration tests.
+    """
+    if not 0.0 <= solid_fraction < 1.0:
+        raise ValueError(
+            f"solid_fraction must be in [0, 1), got {solid_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    nt = np.where(rng.random(shape) < solid_fraction,
+                  SOLID, FLUID).astype(np.int8)
+    if (nt == SOLID).all():        # pragma: no cover - astronomically rare
+        nt.flat[0] = FLUID
     return Domain(nt)

@@ -224,6 +224,24 @@ def _build_cell_solver(cell: BenchCell):
     if cell.problem == "periodic":
         return periodic_problem(cell.scheme, cell.lattice, shape,
                                 tau=cell.tau, backend=cell.backend)
+    if cell.problem == "porous":
+        # Force-driven seeded random porous medium at 85% solid — the
+        # ~15%-fluid regime where the sparse backend's compact state
+        # pays off; dense backends run the same cell for the crossover.
+        import numpy as np
+
+        from ..boundary import HalfwayBounceBack
+        from ..geometry import porous_medium
+        from ..lattice import get_lattice
+        from ..solver.presets import make_solver
+
+        lat = get_lattice(cell.lattice)
+        force = np.zeros(lat.d)
+        force[0] = 1e-6
+        return make_solver(cell.scheme, lat,
+                           porous_medium(shape, solid_fraction=0.85),
+                           cell.tau, boundaries=[HalfwayBounceBack()],
+                           force=force, backend=cell.backend)
     raise ValueError(f"unknown bench problem {cell.problem!r}")
 
 
@@ -353,6 +371,10 @@ def default_suite(quick: bool = False) -> list[BenchCell]:
                       steps=4, repeats=2),
             BenchCell("MR-P", "D2Q9", "batched", "periodic", (32, 32),
                       steps=4, repeats=2, batch=8),
+            BenchCell("MR-P", "D2Q9", "fused", "porous", (96, 96),
+                      steps=4, repeats=2),
+            BenchCell("MR-P", "D2Q9", "sparse", "porous", (96, 96),
+                      steps=4, repeats=2),
         ]
     return [
         BenchCell("ST", "D2Q9", "reference", "periodic", (192, 192),
@@ -383,6 +405,12 @@ def default_suite(quick: bool = False) -> list[BenchCell]:
                   steps=8, repeats=3, ranks=2),
         BenchCell("MR-P", "D2Q9", "batched", "periodic", (32, 32),
                   steps=10, repeats=3, batch=16),
+        BenchCell("MR-P", "D2Q9", "fused", "porous", (192, 192),
+                  steps=10, repeats=3),
+        BenchCell("MR-P", "D2Q9", "sparse", "porous", (192, 192),
+                  steps=10, repeats=3),
+        BenchCell("MR-P", "D3Q19", "sparse", "porous", (48, 48, 48),
+                  steps=8, repeats=3),
     ]
 
 

@@ -206,10 +206,10 @@ class DistributedSolver:
         if st_exchange not in ("crossing", "full"):
             raise ValueError("st_exchange must be 'crossing' or 'full'")
         self.st_exchange = st_exchange
-        if accel not in ("reference", "fused", "aa"):
+        if accel not in ("reference", "fused", "aa", "sparse"):
             raise ValueError(
-                f"distributed solvers support accel='reference', 'fused' or "
-                f"'aa', got {accel!r} (the numba backend handles "
+                f"distributed solvers support accel='reference', 'fused', "
+                f"'aa' or 'sparse', got {accel!r} (the numba backend handles "
                 f"single-domain periodic problems only)"
             )
         self.accel = accel
@@ -248,6 +248,19 @@ class DistributedSolver:
                 state.force = None
             self.ranks.append(state)
             self._rank_slices.append((slice(start, stop), state.interior))
+
+        if accel == "sparse":
+            # The sparse cores never run post-collide hooks; fail at
+            # construction, matching repro.accel.validate_backend.
+            from ..boundary.base import Boundary
+
+            for state in self.ranks:
+                for b in state.boundaries:
+                    if type(b).post_collide is not Boundary.post_collide:
+                        raise ValueError(
+                            f"accel='sparse' does not support boundaries "
+                            f"with custom post-collide hooks "
+                            f"({type(b).__name__}); use accel='fused'")
 
         # Crossing component sets for ST exchanges.
         cx = lat.c[:, 0]
@@ -362,9 +375,10 @@ class DistributedST(DistributedSolver):
     def _init_rank_state(self, state, rho, u):
         """Initialize the rank's populations at equilibrium."""
         state.f = equilibrium(self.lat, rho, u)
-        # The single-lattice core owns its own scratch; every other path
-        # double-buffers through this one.
-        state.scratch = None if self.accel == "aa" else np.empty_like(state.f)
+        # The single-lattice and compact cores own their own scratch; every
+        # other path double-buffers through this one.
+        state.scratch = (None if self.accel in ("aa", "sparse")
+                         else np.empty_like(state.f))
 
     def _rank_macroscopic(self, state):
         """Density and (half-force-corrected) velocity from populations."""
@@ -413,6 +427,19 @@ class DistributedST(DistributedSolver):
                 state.accel_solid = solid if solid.any() else None
             core.step(state.f, state.scratch, state.boundaries,
                       state.accel_solid, force=state.force)
+            return
+        if self.accel == "sparse":
+            # Compact fluid-node-list step over the slab (ghost planes
+            # included, so the folded gather reads the exchanged halo
+            # data exactly like the dense pull).
+            core = getattr(state, "accel_core", None)
+            if core is None:
+                from ..accel import SparseSTCore
+
+                core = state.accel_core = SparseSTCore(
+                    lat, state.domain.solid_mask, self.tau,
+                    boundaries=state.boundaries)
+            core.step(state.f, state.boundaries, force=state.force)
             return
         if self.accel == "aa":
             # Per-rank conservative single-lattice step: the slab state
@@ -479,9 +506,10 @@ class DistributedMR(DistributedSolver):
     def _init_rank_state(self, state, rho, u):
         """Initialize the rank's moment field at equilibrium."""
         state.m = equilibrium_moments(self.lat, rho, u)
-        # The single-buffer core allocates its own (single) lattice,
-        # cutting the rank's distribution scratch from 2 Q-fields to 1.
-        state.scratch = (None if self.accel == "aa"
+        # The single-buffer and compact cores allocate their own lattices,
+        # cutting the rank's distribution scratch from 2 Q-fields to 1 (or
+        # to compact fluid-column buffers).
+        state.scratch = (None if self.accel in ("aa", "sparse")
                          else np.empty((self.lat.q, *state.domain.shape)))
 
     def _rank_macroscopic(self, state):
@@ -510,6 +538,16 @@ class DistributedMR(DistributedSolver):
     def _rank_step(self, state) -> None:
         """Moment-space collide, reconstruct, push-stream one slab."""
         lat = self.lat
+        if self.accel == "sparse":
+            core = getattr(state, "accel_core", None)
+            if core is None:
+                from ..accel import SparseMRCore
+
+                core = state.accel_core = SparseMRCore(
+                    lat, state.domain.solid_mask, self.tau,
+                    scheme=self.scheme, boundaries=state.boundaries)
+            core.step(state.m, state.boundaries, force=state.force)
+            return
         if self.accel in ("fused", "aa"):
             core = getattr(state, "accel_core", None)
             if core is None:

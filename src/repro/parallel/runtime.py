@@ -119,13 +119,16 @@ class RunSpec:
         (``u_max``, ``bc_method``, ``rho0``, ``u0``, ``force``,
         ``st_exchange``, ...).
     accel:
-        Per-rank execution backend, ``"reference"``, ``"fused"`` or
-        ``"aa"`` (see :mod:`repro.accel`); every worker steps its slab
-        through the selected kernels. The ``"aa"`` workers run the
-        conservative single-lattice step, so their slab state stays in
-        the natural layout at every step — halo exchange, interior
-        checkpoints and odd/even resume points all behave exactly as
-        with the two-lattice backends.
+        Per-rank execution backend, ``"reference"``, ``"fused"``,
+        ``"aa"`` or ``"sparse"`` (see :mod:`repro.accel`); every worker
+        steps its slab through the selected kernels. The ``"aa"``
+        workers run the conservative single-lattice step, so their slab
+        state stays in the natural layout at every step — halo exchange,
+        interior checkpoints and odd/even resume points all behave
+        exactly as with the two-lattice backends. The ``"sparse"``
+        workers compact their slab to its fluid-node list but keep the
+        dense slab arrays authoritative, so the exchange and checkpoint
+        protocols are untouched.
     fault:
         Deterministic fault injection: a
         :class:`~repro.parallel.faults.FaultSpec` (or a plain dict of

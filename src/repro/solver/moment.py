@@ -36,8 +36,9 @@ class _MomentSolver(Solver):
         _, m_eq = self._equilibrium_state(rho, u)
         self.m = m_eq
         # The single-lattice backend's core owns its own (single)
-        # distribution buffer; every other path shares this scratch.
-        self._f_scratch = (None if self.backend == "aa"
+        # distribution buffer, and the compact-state sparse core never
+        # materializes a dense one; every other path shares this scratch.
+        self._f_scratch = (None if self.backend in ("aa", "sparse")
                            else np.empty((self.lat.q, *self.domain.shape)))
 
     def _post_collision_f(self) -> np.ndarray:

@@ -59,9 +59,10 @@ class STSolver(Solver):
         """Fill the lattice(s) with the equilibrium of ``(rho, u)``."""
         feq, _ = self._equilibrium_state(rho, u)
         self.f = feq                        # current (post-collision) lattice
-        # The single-lattice backend keeps only ``f`` as persistent state
-        # (any scratch it needs is owned by its core).
-        self._f_streamed = (None if self.backend == "aa"
+        # The single-lattice and compact-state backends keep only ``f``
+        # as persistent dense state (any scratch they need is owned by
+        # their cores).
+        self._f_streamed = (None if self.backend in ("aa", "sparse")
                             else np.empty_like(feq))
 
     def _aa_layout_is_shifted(self) -> bool:
@@ -172,10 +173,12 @@ class STSolver(Solver):
 
     @property
     def state_values_per_node(self) -> int:
-        """``2Q`` doubles per node, or ``Q`` under the ``"aa"`` backend."""
+        """``2Q`` doubles per node, or ``Q`` under ``"aa"``/``"sparse"``."""
         # Two lattices for the classical scheme; the single-lattice
-        # ``"aa"`` backend persists only ``f`` (see docs/ALGORITHMS.md
-        # for the footprint/traffic model).
-        if self.backend == "aa":
+        # ``"aa"`` and compact-state ``"sparse"`` backends persist only
+        # ``f`` as dense state (sparse scratch scales with the fluid
+        # count — see docs/ALGORITHMS.md for the footprint/traffic
+        # models).
+        if self.backend in ("aa", "sparse"):
             return self.lat.q
         return 2 * self.lat.q

@@ -1,5 +1,11 @@
-"""Analytic solutions and error norms for physics validation."""
+"""Analytic solutions, error norms and benchmark cases for validation."""
 
+from .cylinder import (
+    SCHAFER_TUREK,
+    CylinderCase,
+    schafer_turek_case,
+    strouhal_number,
+)
 from .analytic import (
     couette_profile,
     duct_profile,
@@ -25,4 +31,8 @@ __all__ = [
     "linf_error",
     "relative_l2_error",
     "kinetic_energy",
+    "SCHAFER_TUREK",
+    "CylinderCase",
+    "schafer_turek_case",
+    "strouhal_number",
 ]

@@ -1,0 +1,155 @@
+"""Unit tests for the interpolated (Bouzidi) curved bounce-back boundary."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.boundary import (HalfwayBounceBack, InterpolatedBounceBack,
+                            circle_sdf, sphere_sdf)
+from repro.boundary.curved import _link_fractions
+from repro.geometry import channel_2d
+from repro.lattice import get_lattice
+from repro.solver import make_solver
+
+
+def slab_sdf(w0: float, w1: float):
+    """Signed distance of the two-wall channel slab: bottom surface at
+    ``y = w0``, top surface at ``y = w1`` (negative inside the walls)."""
+    return lambda p: np.minimum(p[1] - w0, w1 - p[1])
+
+
+def slab_channel(n, w0, curved, tau=0.8, u_max=0.05, scheme="ST",
+                 backend="fused"):
+    """Force-driven Poiseuille channel with walls at fractional offsets."""
+    lat = get_lattice("D2Q9")
+    dom = channel_2d(4, n, with_io=False)
+    h = (n - 1 - w0) - w0
+    nu = lat.viscosity(tau)
+    force = np.zeros(2)
+    force[0] = 8.0 * nu * u_max / h**2
+    bcs = ([InterpolatedBounceBack(slab_sdf(w0, n - 1 - w0))] if curved
+           else [HalfwayBounceBack()])
+    return make_solver(scheme, lat, dom, tau, boundaries=bcs, force=force,
+                       backend=backend)
+
+
+def poiseuille_error(n, w0, curved):
+    """Steady-state L-infinity velocity error against the exact parabola
+    through the true (fractionally offset) wall positions."""
+    u_max = 0.05
+    s = slab_channel(n, w0, curved, u_max=u_max)
+    s.run_to_steady_state(tol=1e-12, check_interval=200, max_steps=400_000)
+    nu = s.lat.viscosity(s.tau)
+    y = np.arange(n, dtype=float)
+    f = s.force[0].max()
+    exact = f / (2 * nu) * (y - w0) * ((n - 1 - w0) - y)
+    u = s.velocity()[0][1]
+    return float(np.abs(u[1:-1] - exact[1:-1]).max() / u_max)
+
+
+class TestSignedDistances:
+    def test_circle_sdf(self):
+        sdf = circle_sdf(5.0, 5.0, 2.0)
+        pts = np.array([[5.0, 7.5, 5.0], [5.0, 5.0, 7.0]])
+        d = sdf(pts)
+        assert d[0] == pytest.approx(-2.0)      # center: inside by radius
+        assert d[1] == pytest.approx(0.5)       # 2.5 from center, r = 2
+        assert d[2] == pytest.approx(0.0)       # on the surface
+
+    def test_sphere_sdf(self):
+        sdf = sphere_sdf(1.0, 2.0, 3.0, 1.5)
+        p = np.array([[1.0], [2.0], [5.0]])
+        assert sdf(p)[0] == pytest.approx(0.5)
+
+
+class TestLinkFractions:
+    @pytest.mark.parametrize("w0", [0.1, 0.3, 0.5, 0.75, 0.9])
+    def test_plane_wall_fraction_recovered(self, w0):
+        """Bisection recovers the exact wall crossing on a plane SDF."""
+        sdf = slab_sdf(w0, 100.0)
+        start = np.array([[2.0], [1.0]])        # fluid node at y = 1
+        q = _link_fractions(sdf, start, np.array([0, -1]))
+        assert q[0] == pytest.approx(1.0 - w0, abs=1e-9)
+
+    def test_diagonal_link(self):
+        sdf = slab_sdf(0.25, 100.0)
+        start = np.array([[2.0], [1.0]])
+        q = _link_fractions(sdf, start, np.array([1, -1]))
+        # The wall plane y = 0.25 sits 0.75 of the way down the unit
+        # y-descent regardless of the x component.
+        assert q[0] == pytest.approx(0.75, abs=1e-9)
+
+    def test_thin_gap_fallback(self):
+        """A link whose solid end is not actually below the surface (the
+        SDF never goes negative along it) falls back to q = 1/2."""
+        sdf = lambda p: np.ones(p.shape[1])     # nowhere solid
+        start = np.array([[2.0], [1.0]])
+        q = _link_fractions(sdf, start, np.array([0, -1]))
+        assert q[0] == pytest.approx(0.5)
+
+
+class TestHalfwayReduction:
+    @pytest.mark.parametrize("scheme", ["ST", "MR-R"])
+    def test_q_half_equals_halfway_bounce_back(self, scheme):
+        """At q = 1/2 every Bouzidi coefficient collapses to the plain
+        half-way reflection; the two boundaries must match bit for bit."""
+        n = 12
+        states = []
+        for curved in (True, False):
+            s = slab_channel(n, 0.5, curved, scheme=scheme)
+            s.run(15)
+            rho, u = s.macroscopic()
+            states.append(np.concatenate([rho[None], u]))
+        fluid = slice(1, n - 1)
+        diff = np.abs(states[0][..., fluid] - states[1][..., fluid]).max()
+        assert diff < 1e-14, diff
+
+    def test_thin_gap_channel_runs_stably(self):
+        """One-fluid-node gaps (behind-node solid) use the fallback
+        closure and stay finite."""
+        lat = get_lattice("D2Q9")
+        dom = channel_2d(4, 3, with_io=False)   # single fluid row
+        force = np.zeros(2)
+        force[0] = 1e-5
+        s = make_solver("ST", lat, dom, 0.8,
+                        boundaries=[InterpolatedBounceBack(
+                            slab_sdf(0.3, 1.7))],
+                        force=force, backend="fused")
+        s.run(50)
+        rho, u = s.macroscopic()
+        assert np.isfinite(rho).all() and np.isfinite(u).all()
+
+
+class TestSecondOrderConvergence:
+    @pytest.mark.parametrize("w0", [0.3, 0.75])
+    def test_shifted_wall_poiseuille_orders(self, w0):
+        """Bouzidi converges at second order in the wall position; the
+        half-way staircase (wall pinned to the half-link plane) is first
+        order. ``w0 < 0.5`` exercises the near-wall (q > 1/2) closure,
+        ``w0 > 0.5`` the two-point (q < 1/2) interpolation."""
+        sizes = (9, 17, 33)
+        errs_c = [poiseuille_error(n, w0, curved=True) for n in sizes]
+        errs_s = [poiseuille_error(n, w0, curved=False) for n in sizes]
+        orders_c = [math.log(errs_c[i] / errs_c[i + 1]) / math.log(2)
+                    for i in range(2)]
+        orders_s = [math.log(errs_s[i] / errs_s[i + 1]) / math.log(2)
+                    for i in range(2)]
+        assert min(orders_c) >= 1.8, (orders_c, errs_c)
+        assert max(orders_s) <= 1.4, (orders_s, errs_s)
+        assert errs_c[-1] < errs_s[-1]
+
+
+class TestCurvedForceAccumulator:
+    def test_wall_drag_balances_body_force(self):
+        """At steady state the accumulated link force on the two walls
+        balances the total driving body force (momentum-exchange
+        consistency of the curved accumulator)."""
+        s = slab_channel(14, 0.3, curved=True)
+        s.run_to_steady_state(tol=1e-12, check_interval=200,
+                              max_steps=400_000)
+        bc = s.boundaries[0]
+        s.run(1)                                # one step: fresh last_force
+        driving = s.force[0].sum()
+        assert bc.last_force[0] == pytest.approx(driving, rel=1e-2)
+        assert abs(bc.last_force[1]) < 1e-8

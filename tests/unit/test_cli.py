@@ -93,6 +93,13 @@ class TestCommands:
         assert rc == 0
         assert "2 rank(s)" in capsys.readouterr().out
 
+    def test_run_forced_channel_sparse(self, capsys):
+        """The sparse fluid-node-list backend is selectable from the CLI."""
+        rc = main(["run", "--problem", "forced-channel", "--scheme", "MR-P",
+                   "--shape", "24,12", "--steps", "4", "--accel", "sparse"])
+        assert rc == 0
+        assert "accel = sparse" in capsys.readouterr().out
+
     def test_unsupported_accel_exits_2(self, capsys):
         """Backend rejections surface as a clean exit-2 error, no traceback."""
         rc = main(["run", "--problem", "channel", "--scheme", "ST",

@@ -171,6 +171,25 @@ class TestBackendComparison:
         out = capsys.readouterr().out
         assert "speedup" in out
 
+    def test_compare_backends_cylinder_problem(self):
+        from repro.obs import compare_backends
+
+        result = compare_backends("MR-R", "D2Q9", shape=(48, 26), steps=4,
+                                  problem="cylinder")
+        rows = {row["backend"]: row for row in result["backends"]}
+        assert "sparse" in rows
+        assert rows["sparse"]["max_abs_diff"] < 1e-13
+        assert rows["fused"]["max_abs_diff"] < 1e-13
+
+    def test_profile_compare_cylinder_cli(self, capsys):
+        """CLI smoke test: backend comparison on the cylinder problem."""
+        rc = main(["profile", "--scheme", "MR-P", "--lattice", "D2Q9",
+                   "--shape", "32,18", "--steps", "3", "--accel", "compare",
+                   "--problem", "cylinder"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "sparse" in out
+
     def test_run_accel_flag(self, capsys):
         rc = main(["run", "--scheme", "MR-P", "--shape", "20,12",
                    "--steps", "6", "--accel", "fused"])
