@@ -10,6 +10,14 @@ Subcommands
 ``sweep``    Expand a parameter grid into an ensemble and run member
              batches of same-shape simulations through one fused kernel
              (lockstep batched execution; see docs/TUTORIAL.md).
+``serve``    Start the local async job server: queue RunSpecs over HTTP
+             (or a Unix socket), multiplex them over a bounded worker
+             pool of fault-tolerant process runtimes, dedupe identical
+             submissions via the problem fingerprint, and stream
+             per-job event-bus lines (see docs/SERVICE.md).
+``submit``   Submit one job to a running server; optionally wait for
+             the sealed result or follow the live event stream.
+``jobs``     List a server's jobs, or query one job / its result.
 ``tables``   Regenerate the paper's Tables 1-4.
 ``figures``  Regenerate the paper's Figures 2-3 (text rendering).
 ``summary``  Regenerate the headline claims (footprint, speedups, MR-R cost).
@@ -59,7 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shape", default="128,66",
                      help="comma-separated grid shape, e.g. 128,66 or 64,34,34")
     run.add_argument("--problem", default="channel",
-                     choices=["channel", "forced-channel", "taylor-green"])
+                     choices=["channel", "forced-channel", "taylor-green",
+                              "cylinder", "porous"])
     run.add_argument("--tau", type=float, default=0.8)
     run.add_argument("--u-max", type=float, default=0.05)
     run.add_argument("--steps", type=int, default=1000)
@@ -136,11 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
                       "report MLUPS side by side")
     prof.add_argument("--problem", default="periodic",
                       choices=["periodic", "forced-channel", "power-law",
-                               "cylinder"],
+                               "cylinder", "porous"],
                       help="workload for --accel compare: a periodic box, "
                       "a body-force-driven channel, the power-law "
-                      "(variable-tau) channel, or a channel with a "
-                      "cylinder obstacle (masked geometry)")
+                      "(variable-tau) channel, a channel with a "
+                      "cylinder obstacle, or a random porous medium "
+                      "(masked geometries)")
 
     bench = sub.add_parser(
         "bench", help="run the benchmark matrix; append to the "
@@ -226,6 +236,78 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--json", default=None, metavar="PATH",
                      help="also dump the sweep summary JSON to PATH")
 
+    srv = sub.add_parser(
+        "serve", help="start the local async job server over the "
+        "fault-tolerant runtime (see docs/SERVICE.md)")
+    srv.add_argument("--root", default="mrlbm-jobs", metavar="DIR",
+                     help="job state directory: one subdirectory per "
+                     "job holding events, checkpoints and the sealed "
+                     "result (default mrlbm-jobs)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="TCP bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8722,
+                     help="TCP port; 0 picks an ephemeral one "
+                     "(default 8722)")
+    srv.add_argument("--uds", default=None, metavar="PATH",
+                     help="bind a Unix-domain socket at PATH instead "
+                     "of TCP")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="number of jobs run concurrently (default 2)")
+    srv.add_argument("--run-timeout", type=float, default=None,
+                     metavar="S", help="per-attempt wall-clock timeout "
+                     "forwarded to the process runtime")
+
+    sbm = sub.add_parser(
+        "submit", help="submit a job to a running 'mrlbm serve' server")
+    sbm.add_argument("--server", default="127.0.0.1:8722", metavar="ADDR",
+                     help="server address: host:port, or a Unix-socket "
+                     "path (contains '/')")
+    sbm.add_argument("--kind", default="forced-channel",
+                     help="problem kind (see 'mrlbm jobs --kinds')")
+    sbm.add_argument("--scheme", default="MR-P",
+                     choices=["ST", "MR-P", "MR-R"])
+    sbm.add_argument("--lattice", default="D2Q9")
+    sbm.add_argument("--shape", default="64,34",
+                     help="comma-separated grid shape")
+    sbm.add_argument("--steps", type=int, default=500)
+    sbm.add_argument("--tau", type=float, default=0.8)
+    sbm.add_argument("--ranks", type=int, default=1)
+    sbm.add_argument("--accel", default="reference",
+                     choices=["reference", "fused", "aa", "sparse"])
+    sbm.add_argument("--option", action="append", default=[],
+                     metavar="KEY=VALUE",
+                     help="extra problem option forwarded to the "
+                     "builder (repeatable; VALUE is parsed as JSON, "
+                     "falling back to a string)")
+    sbm.add_argument("--checkpoint-every", type=int, default=0,
+                     metavar="N", help="checkpoint cadence in steps "
+                     "(0 = off); checkpoints live inside the job dir")
+    sbm.add_argument("--max-restarts", type=int, default=0, metavar="K")
+    sbm.add_argument("--watchdog", type=int, default=0, metavar="N")
+    sbm.add_argument("--wait", action="store_true",
+                     help="block until the job finishes and print the "
+                     "sealed result")
+    sbm.add_argument("--follow", action="store_true",
+                     help="stream the job's event-bus lines while it "
+                     "runs (implies --wait)")
+    sbm.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                     help="give up waiting after S seconds "
+                     "(default 600)")
+
+    jbs = sub.add_parser(
+        "jobs", help="list jobs on a running server, or query one job")
+    jbs.add_argument("job_id", nargs="?", default=None,
+                     help="show one job instead of listing all")
+    jbs.add_argument("--server", default="127.0.0.1:8722", metavar="ADDR",
+                     help="server address: host:port, or a Unix-socket "
+                     "path (contains '/')")
+    jbs.add_argument("--result", action="store_true",
+                     help="with a job id: print the sealed result JSON")
+    jbs.add_argument("--kinds", action="store_true",
+                     help="list the server's registered problem kinds")
+    jbs.add_argument("--json", action="store_true",
+                     help="print raw JSON instead of the table")
+
     tune = sub.add_parser("tune", help="rank MR tile configurations")
     tune.add_argument("--lattice", default="D3Q19")
     tune.add_argument("--device", default="V100")
@@ -253,25 +335,17 @@ def _distributed_spec(args, shape):
         "events_dir": getattr(args, "events", None),
         "events_every": getattr(args, "events_every", 25),
     }
+    # The problem kinds live in the shared registry (repro.service.registry),
+    # so the CLI only decides which options each kind takes.  The porous
+    # preset draws its own geometry from a seed and takes no u_max.
+    options: dict = {"u_max": args.u_max}
     if args.problem == "channel":
-        return RunSpec("channel", args.scheme, args.lattice, shape,
-                       args.ranks, tau=args.tau, accel=accel,
-                       options={"u_max": args.u_max, "bc_method": "nebb"},
-                       **fault_tolerance)
-    if args.problem == "forced-channel":
-        return RunSpec("forced-channel", args.scheme, args.lattice, shape,
-                       args.ranks, tau=args.tau, accel=accel,
-                       options={"u_max": args.u_max}, **fault_tolerance)
-    if len(shape) != 2:
-        raise SystemExit("taylor-green preset is 2D; pass a 2-entry shape")
-    from .validation import taylor_green_fields
-
-    nu = (args.tau - 0.5) / 3.0
-    rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
-    return RunSpec("periodic", args.scheme, args.lattice, shape, args.ranks,
-                   tau=args.tau, accel=accel,
-                   options={"rho0": rho0, "u0": u0},
-                   **fault_tolerance)
+        options["bc_method"] = "nebb"
+    elif args.problem == "porous":
+        options = {}
+    return RunSpec(args.problem, args.scheme, args.lattice, shape,
+                   args.ranks, tau=args.tau, accel=accel,
+                   options=options, **fault_tolerance)
 
 
 def _cmd_run_distributed(args: argparse.Namespace) -> int:
@@ -314,6 +388,13 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
     if backend == "process":
         try:
             result = run_process(spec, args.steps)
+        except KeyboardInterrupt:
+            # The runtime's interrupt path has already terminated the
+            # rank processes and unlinked every shared-memory block;
+            # exit with the conventional 128+SIGINT status.
+            print("INTERRUPTED: cohort terminated, shared memory "
+                  "released", file=sys.stderr)
+            return 130
         except ParallelRuntimeError as err:
             print(f"ABORTED: {err}", file=sys.stderr)
             return 2
@@ -395,8 +476,7 @@ def _cmd_run_distributed(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .solver import channel_problem, periodic_problem
-    from .validation import taylor_green_fields
+    from .service.registry import build_single
 
     if (args.ranks > 1 or args.backend is not None or args.resume
             or args.checkpoint_dir or args.max_restarts):
@@ -404,26 +484,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     shape = tuple(int(s) for s in args.shape.split(","))
     accel = getattr(args, "accel", "reference")
+    # Single-domain dispatch goes through the same problem registry as
+    # the distributed runtime, the sweep engine and the job server; the
+    # CLI only decides which options each kind takes (the porous preset
+    # draws its own geometry from a seed and takes no u_max).
+    options: dict = {"u_max": args.u_max}
+    if args.problem == "channel":
+        options["bc_method"] = args.bc
+    elif args.problem == "porous":
+        options = {}
     try:
-        if args.problem == "channel":
-            solver = channel_problem(args.scheme, args.lattice, shape,
-                                     tau=args.tau, u_max=args.u_max,
-                                     bc_method=args.bc, backend=accel)
-        elif args.problem == "forced-channel":
-            from .solver import forced_channel_problem
-
-            solver = forced_channel_problem(args.scheme, args.lattice, shape,
-                                            tau=args.tau, u_max=args.u_max,
-                                            backend=accel)
-        else:
-            if len(shape) != 2:
-                raise SystemExit(
-                    "taylor-green preset is 2D; pass a 2-entry shape")
-            nu = (args.tau - 0.5) / 3.0
-            rho0, u0 = taylor_green_fields(shape, 0.0, nu, args.u_max)
-            solver = periodic_problem(args.scheme, args.lattice, shape,
-                                      args.tau, rho0=rho0, u0=u0,
-                                      backend=accel)
+        solver = build_single(args.problem, args.scheme, args.lattice,
+                              shape, tau=args.tau, backend=accel,
+                              **options)
     except (ValueError, RuntimeError) as err:
         # Backend validation happens at solver construction (see
         # repro.accel.validate_backend), so an unsupported --accel
@@ -851,6 +924,149 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Handle ``mrlbm serve``: run the async job server until stopped."""
+    import asyncio
+
+    from .service import JobScheduler, JobServer
+
+    scheduler = JobScheduler(args.root, workers=args.workers,
+                             run_timeout=args.run_timeout)
+    server = JobServer(scheduler, host=args.host, port=args.port,
+                       uds=args.uds)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"mrlbm serve: listening on {server.address} "
+              f"({scheduler.workers} worker(s), jobs under "
+              f"{scheduler.root})")
+        print(f"  submit:  mrlbm submit --server {server.address} ...")
+        print(f"  inspect: mrlbm jobs --server {server.address}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("mrlbm serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _parse_option(text: str) -> tuple[str, object]:
+    """Split one ``--option KEY=VALUE``; VALUE parses as JSON if it can."""
+    import json as _json
+
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise ValueError(f"--option expects KEY=VALUE, got {text!r}")
+    try:
+        return key, _json.loads(value)
+    except _json.JSONDecodeError:
+        return key, value
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Handle ``mrlbm submit``: post one job, optionally wait/follow."""
+    from .service import ServiceClient, ServiceError
+
+    try:
+        options = dict(_parse_option(o) for o in args.option)
+    except ValueError as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
+    payload: dict = {
+        "kind": args.kind, "scheme": args.scheme, "lattice": args.lattice,
+        "shape": [int(s) for s in args.shape.split(",")],
+        "steps": args.steps, "tau": args.tau, "n_ranks": args.ranks,
+        "accel": args.accel, "options": options,
+    }
+    if args.checkpoint_every:
+        payload["checkpoint_every"] = args.checkpoint_every
+    if args.max_restarts:
+        payload["max_restarts"] = args.max_restarts
+    if args.watchdog:
+        payload["watchdog_every"] = args.watchdog
+
+    client = ServiceClient(args.server)
+    try:
+        reply = client.submit(payload)
+        job = reply["job"]
+        verb = ("created" if reply.get("created")
+                else "cached" if job["state"] == "done" else "coalesced")
+        print(f"{job['id']} [{verb}] state={job['state']} "
+              f"key={job['key']}")
+        if not (args.wait or args.follow):
+            return 0
+        if args.follow:
+            for event in client.events(job["id"], follow=True):
+                kind = event.get("kind", "?")
+                step = event.get("step")
+                print(f"  rank {event.get('rank', 0):3d} {kind:>10s} "
+                      f"step {step if step is not None else '-':>7}")
+        job = client.wait(job["id"], timeout_s=args.timeout)
+        if job["state"] != "done":
+            print(f"FAILED: {job.get('error')}", file=sys.stderr)
+            return 1
+        result = client.result(job["id"])["result"]
+    except TimeoutError as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
+    except (ServiceError, ConnectionError, OSError) as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
+    print(f"{job['id']} done: {result['steps']} steps, "
+          f"{result['mlups']:.2f} MLUPS, {result['wall_s']:.2f} s wall, "
+          f"{result['restarts']} restart(s)")
+    print(f"  sealed result in {job['dir']}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """Handle ``mrlbm jobs``: list jobs / show one / list problem kinds."""
+    import json as _json
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.kinds:
+            kinds = client.kinds()
+            if args.json:
+                print(_json.dumps(kinds, indent=2, sort_keys=True))
+            else:
+                for name in sorted(kinds):
+                    print(f"  {name:15s} {kinds[name]}")
+            return 0
+        if args.job_id:
+            if args.result:
+                payload = client.result(args.job_id)["result"]
+            else:
+                payload = client.job(args.job_id)
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        jobs = client.jobs()
+    except (ServiceError, ConnectionError, OSError) as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'id':12s} {'state':8s} {'steps':>7s} {'hits':>4s}  spec")
+    for job in jobs:
+        spec = job.get("spec") or {}
+        desc = (f"{spec.get('kind', '?')} {spec.get('scheme', '?')} "
+                f"{spec.get('lattice', '?')} "
+                f"{tuple(spec.get('shape', ()))} x{spec.get('n_ranks', '?')}")
+        print(f"{job['id']:12s} {job['state']:8s} {job['steps']:7d} "
+              f"{job['hits']:4d}  {desc}")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .gpu import get_device
     from .lattice import get_lattice
@@ -946,11 +1162,20 @@ def main(argv: list[str] | None = None) -> int:
         "summary": _cmd_summary,
         "devices": _cmd_devices,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "tune": _cmd_tune,
         "report": _cmd_report,
         "validate": _cmd_validate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # 128 + SIGINT: handlers with a cleaner interrupt story (watch,
+        # serve, the distributed run path) catch it before this does.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

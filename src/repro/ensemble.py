@@ -50,16 +50,11 @@ import numpy as np
 from .accel import solver_caps
 from .accel.batched import BatchedFusedMRCore, BatchedFusedSTCore
 from .core.collision import BGKCollision
-from .lattice import get_lattice
 from .obs.manifest import write_manifest
 from .obs.telemetry import NULL_TELEMETRY
 from .parallel.runtime import RunSpec
+from .service.registry import build_single, sweep_kinds
 from .solver.base import Solver
-from .solver.presets import (
-    channel_problem,
-    forced_channel_problem,
-    periodic_problem,
-)
 
 __all__ = [
     "EnsembleRunner",
@@ -283,10 +278,11 @@ class EnsembleRunner:
 # Sweep machinery (the engine behind ``mrlbm sweep``)
 # ---------------------------------------------------------------------------
 
-#: Problem presets a sweep can expand over. ``taylor-green`` builds a
-#: fully periodic 2D vortex via :func:`repro.validation.analytic
-#: .taylor_green_fields`; the channel kinds reuse the solver presets.
-SWEEP_PROBLEMS = ("taylor-green", "forced-channel", "channel")
+#: Problem kinds a sweep can expand over — the registry entries flagged
+#: ``sweepable`` (see :mod:`repro.service.registry`), so a kind
+#: registered there with ``sweepable=True`` becomes sweepable here and
+#: in ``mrlbm sweep`` without touching this module.
+SWEEP_PROBLEMS = sweep_kinds()
 
 
 def expand_sweep(problem: str, schemes: Sequence[str],
@@ -329,30 +325,18 @@ def expand_sweep(problem: str, schemes: Sequence[str],
 
 
 def build_sweep_member(spec: RunSpec, backend: str = "fused") -> Solver:
-    """Construct the single-domain solver one sweep RunSpec describes."""
-    u_max = float(spec.options.get("u_max", 0.05))
-    shape = tuple(spec.shape)
-    if spec.kind == "taylor-green":
-        from .validation import taylor_green_fields
+    """Construct the single-domain solver one sweep RunSpec describes.
 
-        lat = get_lattice(spec.lattice)
-        if lat.d != 2:
-            raise ValueError(
-                "the taylor-green sweep problem is 2D; pick a D2 lattice "
-                f"(got {spec.lattice})")
-        nu = lat.viscosity(spec.tau)
-        rho0, u0 = taylor_green_fields(shape, 0.0, nu, u_max)
-        return periodic_problem(spec.scheme, spec.lattice, shape,
-                                tau=spec.tau, rho0=rho0, u0=u0,
-                                backend=backend)
-    if spec.kind == "forced-channel":
-        return forced_channel_problem(spec.scheme, spec.lattice, shape,
-                                      tau=spec.tau, u_max=u_max,
-                                      backend=backend)
-    if spec.kind == "channel":
-        return channel_problem(spec.scheme, spec.lattice, shape,
-                               tau=spec.tau, u_max=u_max, backend=backend)
-    raise ValueError(f"unknown sweep problem kind {spec.kind!r}")
+    Delegates to the registry's single-domain builders
+    (:func:`repro.service.registry.build_single`), so any sweepable
+    kind — including ones registered downstream — is buildable here.
+    """
+    if spec.kind not in SWEEP_PROBLEMS:
+        raise ValueError(f"unknown sweep problem kind {spec.kind!r}; "
+                         f"expected one of {SWEEP_PROBLEMS}")
+    return build_single(spec.kind, spec.scheme, spec.lattice,
+                        tuple(spec.shape), tau=spec.tau, backend=backend,
+                        **spec.options)
 
 
 def pack_batches(specs: Sequence[RunSpec],

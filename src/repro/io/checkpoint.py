@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -315,13 +316,21 @@ def reshard_field(global_field: np.ndarray, decomp, rank: int) -> np.ndarray:
 
 def validate_checkpoint_manifest(manifest: dict, *, scheme: str, lattice: str,
                                  shape: tuple[int, ...], tau: float,
-                                 fingerprint: str | None = None) -> None:
+                                 fingerprint: str | None = None,
+                                 fingerprint_version: int | None = None
+                                 ) -> None:
     """Check a checkpoint manifest against the run that wants to resume it.
 
     Lattice, global shape, scheme and tau must match exactly (they
     change the trajectory); the rank count may differ (the field is
     re-sharded). A mismatched problem ``fingerprint`` — covering the
-    problem kind and preset options — is also rejected.
+    problem kind and preset options — is also rejected, but only when
+    the checkpoint was written under the same fingerprint encoding:
+    when ``fingerprint_version`` is given and differs from the
+    manifest's recorded version (absent = version 1, the pre-fix
+    encoding), the digests are not comparable, so the comparison is
+    skipped with a :class:`UserWarning` instead of failing spuriously.
+    The field-by-field checks above still guard the resume.
     """
     problems = []
     if manifest.get("scheme") != scheme:
@@ -336,11 +345,22 @@ def validate_checkpoint_manifest(manifest: dict, *, scheme: str, lattice: str,
     if manifest.get("tau") is not None and \
             float(manifest["tau"]) != float(tau):
         problems.append(f"tau: checkpoint {manifest['tau']} != run {tau}")
-    saved_fp = manifest.get("extra", {}).get("fingerprint")
-    if fingerprint is not None and saved_fp is not None \
-            and saved_fp != fingerprint:
-        problems.append("problem fingerprint differs (kind/options changed "
-                        "since the checkpoint was written)")
+    extra = manifest.get("extra", {})
+    saved_fp = extra.get("fingerprint")
+    saved_version = extra.get("fingerprint_version", 1)
+    if fingerprint is not None and saved_fp is not None:
+        if (fingerprint_version is not None
+                and saved_version != fingerprint_version):
+            warnings.warn(
+                f"checkpoint was written under fingerprint encoding "
+                f"v{saved_version}, this run uses v{fingerprint_version}; "
+                "skipping the problem-fingerprint comparison (scheme/"
+                "lattice/shape/tau still validated). Re-checkpointing "
+                "will record the current version.", UserWarning,
+                stacklevel=2)
+        elif saved_fp != fingerprint:
+            problems.append("problem fingerprint differs (kind/options "
+                            "changed since the checkpoint was written)")
     if problems:
         raise ValueError("checkpoint is incompatible with this run:\n  "
                          + "\n  ".join(problems))

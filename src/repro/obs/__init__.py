@@ -47,6 +47,8 @@ from .events import (
     event_files,
     follow_events,
     format_watch,
+    iter_event_lines,
+    iter_events,
     read_events,
     summarize_events,
 )
@@ -113,6 +115,8 @@ __all__ = [
     "RunEventEmitter",
     "event_files",
     "follow_events",
+    "iter_event_lines",
+    "iter_events",
     "format_watch",
     "read_events",
     "summarize_events",

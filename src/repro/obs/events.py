@@ -37,6 +37,7 @@ __all__ = [
     "RunEventEmitter",
     "event_files",
     "read_events",
+    "iter_event_lines",
     "iter_events",
     "follow_events",
     "summarize_events",
@@ -185,13 +186,17 @@ def read_events(run_dir: str | Path) -> list[dict]:
     return events
 
 
-def iter_events(run_dir: str | Path, offsets: dict | None = None):
-    """Yield events appended since ``offsets`` (per-file byte positions).
+def iter_event_lines(run_dir: str | Path, offsets: dict | None = None):
+    """Yield raw JSONL lines appended since ``offsets`` (byte positions).
 
-    ``offsets`` is mutated in place, so successive calls with the same
-    dict implement an incremental tail that also picks up rank files
-    created after the first call. Partial trailing lines (a writer
-    mid-append) are left for the next call.
+    The undecoded sibling of :func:`iter_events`, for relays that only
+    forward the bus — the job server's ``/jobs/<id>/events`` endpoint
+    streams these lines verbatim instead of decode/re-encode round
+    trips. ``offsets`` (per-file byte positions, keyed by file name) is
+    mutated in place, so successive calls with the same dict implement
+    an incremental tail that also picks up rank files created after the
+    first call. Partial trailing lines (a writer mid-append) are left
+    for the next call. Yielded lines are stripped and non-empty.
     """
     if offsets is None:
         offsets = {}
@@ -210,8 +215,20 @@ def iter_events(run_dir: str | Path, offsets: dict | None = None):
             consumed += len(line)
             line = line.strip()
             if line:
-                yield json.loads(line)
+                yield line
         offsets[path.name] = pos + consumed
+
+
+def iter_events(run_dir: str | Path, offsets: dict | None = None):
+    """Yield events appended since ``offsets`` (per-file byte positions).
+
+    ``offsets`` is mutated in place, so successive calls with the same
+    dict implement an incremental tail that also picks up rank files
+    created after the first call. Partial trailing lines (a writer
+    mid-append) are left for the next call.
+    """
+    for line in iter_event_lines(run_dir, offsets):
+        yield json.loads(line)
 
 
 def follow_events(run_dir: str | Path, poll_s: float = 0.5,

@@ -201,48 +201,6 @@ def _power_law_channel(lattice: str, shape: tuple[int, ...], tau: float,
                              backend=backend)
 
 
-def _cylinder_obstacle(scheme: str, lattice: str, shape: tuple[int, ...],
-                       tau: float, u_max: float, backend: str):
-    """Force-driven channel with a cylinder obstacle (masked geometry).
-
-    Periodic streamwise with half-way bounce-back on the walls *and* the
-    cylinder staircase — the one boundary the ``sparse`` backend folds
-    into its gather tables, so the comparison covers every backend's
-    genuine fast path on a non-trivial solid mask. In 3D the cylinder
-    axis spans the ``z`` direction.
-    """
-    import numpy as np
-
-    from ..boundary import HalfwayBounceBack
-    from ..geometry import Domain, channel_2d, channel_3d
-    from ..geometry.domain import SOLID
-    from ..lattice import get_lattice
-    from ..solver.presets import make_solver
-
-    lat = get_lattice(lattice)
-    if len(shape) != lat.d:
-        raise ValueError(
-            f"shape {shape} does not match lattice dimension {lat.d}")
-    base = (channel_2d(*shape, with_io=False) if lat.d == 2
-            else channel_3d(*shape, with_io=False))
-    nt = np.array(base.node_type)
-    cx, cy = shape[0] / 4.0, (shape[1] - 1) / 2.0
-    radius = max(2.0, shape[1] / 8.0)
-    x, y = np.meshgrid(np.arange(shape[0]), np.arange(shape[1]),
-                       indexing="ij")
-    disk = (x - cx) ** 2 + (y - cy) ** 2 <= radius ** 2
-    nt[disk if lat.d == 2 else disk[..., None] & np.ones(shape, bool)] = SOLID
-    domain = Domain(nt)
-
-    h = shape[1] - 2
-    nu = lat.viscosity(tau)
-    force = np.zeros(lat.d)
-    force[0] = 8.0 * nu * u_max / (h * h)
-    return make_solver(scheme, lat, domain, tau,
-                       boundaries=[HalfwayBounceBack()], force=force,
-                       backend=backend)
-
-
 def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
                      shape: tuple[int, ...] | None = None, steps: int = 20,
                      tau: float = 0.8, u_max: float = 0.05,
@@ -266,10 +224,16 @@ def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
         exercises the fused per-node ``tau_field`` collision. The
         ``scheme`` argument is ignored (the solver is MR-P based).
     ``"cylinder"``
-        A force-driven channel with a staircase cylinder obstacle —
-        a masked geometry, so the comparison covers the ``sparse``
+        A force-driven channel with a staircase cylinder obstacle
+        (:func:`repro.solver.presets.cylinder_channel_problem`) — a
+        masked geometry, so the comparison covers the ``sparse``
         backend's compact indirect addressing on its home turf while
         the dense backends pay for the solid nodes.
+    ``"porous"``
+        Force-driven flow through a seeded random porous medium
+        (:func:`repro.solver.presets.porous_channel_problem`) — the
+        ~15%-fluid regime where the ``sparse`` backend's compact state
+        dominates.
 
     Each backend's MLUPS comes from its own telemetry registry, and each
     fast backend's end state is compared against the reference run — the
@@ -290,13 +254,19 @@ def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
 
     from ..accel import available_backends
     from ..lattice import get_lattice
-    from ..solver import forced_channel_problem, periodic_problem
+    from ..solver import (
+        cylinder_channel_problem,
+        forced_channel_problem,
+        periodic_problem,
+        porous_channel_problem,
+    )
     from ..validation import taylor_green_fields
 
-    if problem not in ("periodic", "forced-channel", "power-law", "cylinder"):
+    if problem not in ("periodic", "forced-channel", "power-law", "cylinder",
+                       "porous"):
         raise ValueError(
-            f"problem must be 'periodic', 'forced-channel', 'power-law' "
-            f"or 'cylinder', got {problem!r}")
+            f"problem must be 'periodic', 'forced-channel', 'power-law', "
+            f"'cylinder' or 'porous', got {problem!r}")
     lat = get_lattice(lattice)
     if shape is None:
         shape = _default_shape(lat.d)
@@ -330,8 +300,11 @@ def compare_backends(scheme: str = "MR-P", lattice: str = "D3Q19",
             return forced_channel_problem(scheme, lattice, shape, tau=tau,
                                           u_max=u_max, backend=backend)
         if problem == "cylinder":
-            return _cylinder_obstacle(scheme, lattice, shape, tau, u_max,
-                                      backend)
+            return cylinder_channel_problem(scheme, lattice, shape, tau=tau,
+                                            u_max=u_max, backend=backend)
+        if problem == "porous":
+            return porous_channel_problem(scheme, lattice, shape, tau=tau,
+                                          backend=backend)
         return _power_law_channel(lattice, shape, tau, u_max, backend)
 
     rows = []

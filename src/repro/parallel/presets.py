@@ -5,13 +5,18 @@ from __future__ import annotations
 import numpy as np
 
 from ..boundary import HalfwayBounceBack, Plane, PressureOutlet, VelocityInlet
-from ..geometry import channel_2d, channel_3d, periodic_box
+from ..geometry import channel_2d, channel_3d, periodic_box, porous_medium
 from ..lattice import LatticeDescriptor, get_lattice
-from ..solver.presets import channel_inlet_profile
+from ..solver.presets import (
+    channel_body_force,
+    channel_inlet_profile,
+    cylinder_channel_domain,
+)
 from .decomposition import DistributedMR, DistributedST, DistributedSolver
 
 __all__ = ["distributed_channel_problem", "distributed_periodic_problem",
-           "distributed_forced_channel_problem"]
+           "distributed_forced_channel_problem",
+           "distributed_cylinder_problem", "distributed_porous_problem"]
 
 
 def _make(scheme: str, lat, domain, tau, n_ranks, periodic, factory,
@@ -75,10 +80,54 @@ def distributed_forced_channel_problem(
         raise ValueError(f"shape {shape} does not match lattice dimension {lat.d}")
     domain = (channel_2d(*shape, with_io=False) if lat.d == 2
               else channel_3d(*shape, with_io=False))
-    h = shape[1] - 2
-    nu = lat.viscosity(tau)
+    force = channel_body_force(lat, shape, tau, u_max)
+    return _make(scheme, lat, domain, tau, n_ranks, periodic=True,
+                 factory=lambda r, t: [HalfwayBounceBack()], force=force,
+                 **kwargs)
+
+
+def distributed_cylinder_problem(scheme: str,
+                                 lattice: str | LatticeDescriptor,
+                                 shape: tuple[int, ...], n_ranks: int,
+                                 tau: float = 0.8, u_max: float = 0.04,
+                                 radius: float | None = None,
+                                 **kwargs) -> DistributedSolver:
+    """Force-driven cylinder channel decomposed into streamwise slabs.
+
+    The slab cut planes may pass through the obstacle: half-way
+    bounce-back only reads the ghost-plane node types, which every slab
+    carries, so the decomposition reproduces the single-domain
+    :func:`repro.solver.presets.cylinder_channel_problem` to machine
+    precision for any rank count (pinned by the registry tests).
+    """
+    lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
+    domain = cylinder_channel_domain(lat, shape, radius)
+    force = channel_body_force(lat, shape, tau, u_max)
+    return _make(scheme, lat, domain, tau, n_ranks, periodic=True,
+                 factory=lambda r, t: [HalfwayBounceBack()], force=force,
+                 **kwargs)
+
+
+def distributed_porous_problem(scheme: str, lattice: str | LatticeDescriptor,
+                               shape: tuple[int, ...], n_ranks: int,
+                               tau: float = 0.8, solid_fraction: float = 0.85,
+                               seed: int = 0, force_x: float = 1e-6,
+                               **kwargs) -> DistributedSolver:
+    """Seeded random porous medium decomposed into streamwise slabs.
+
+    The geometry is rebuilt deterministically from ``(shape,
+    solid_fraction, seed)`` on every rank, so only halo faces cross
+    process boundaries — mirroring
+    :func:`repro.solver.presets.porous_channel_problem`.
+    """
+    lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
+    if len(shape) != lat.d:
+        raise ValueError(
+            f"shape {shape} does not match lattice dimension {lat.d}")
+    domain = porous_medium(shape, solid_fraction=float(solid_fraction),
+                           seed=int(seed))
     force = np.zeros(lat.d)
-    force[0] = 8.0 * nu * u_max / (h * h)
+    force[0] = float(force_x)
     return _make(scheme, lat, domain, tau, n_ranks, periodic=True,
                  factory=lambda r, t: [HalfwayBounceBack()], force=force,
                  **kwargs)

@@ -70,13 +70,9 @@ from ..io.checkpoint import (
 from ..obs.merge import merge_rank_reports
 from .decomposition import CommunicationReport, DistributedSolver
 from .faults import FaultSpec, normalize_fault
-from .presets import (
-    distributed_channel_problem,
-    distributed_forced_channel_problem,
-    distributed_periodic_problem,
-)
 
 __all__ = [
+    "FINGERPRINT_VERSION",
     "RunSpec",
     "WorkerFailure",
     "ParallelRuntimeError",
@@ -89,6 +85,14 @@ __all__ = [
 #: prefix (visible as ``/dev/shm/<prefix>-...`` on Linux), so leaked
 #: segments are attributable and tests can assert cleanup.
 SHM_PREFIX = "mrlbm"
+
+#: Version of the :meth:`RunSpec.fingerprint` encoding, recorded in
+#: checkpoint manifests. Version 1 concatenated key/value reprs with no
+#: separator, so distinct option dicts (``{"x1": 2}`` vs ``{"x": 12}``)
+#: could collide; version 2 length-prefixes every field. Resuming a
+#: checkpoint written under another version warns and skips the digest
+#: comparison instead of failing it spuriously.
+FINGERPRINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -188,43 +192,70 @@ class RunSpec:
     events_dir: str | None = None
     events_every: int = 25
 
-    def fingerprint(self) -> str:
-        """Stable digest of the problem identity (kind + preset options).
+    def __post_init__(self) -> None:
+        """Validate ``kind`` against the problem registry at construction.
 
-        Stored in every checkpoint manifest and compared on resume:
+        An unknown kind used to surface only when :meth:`build` ran —
+        long after the spec had been queued, fingerprinted or pickled.
+        Failing here keeps bad specs out of the system entirely. The
+        check is skipped during unpickling (``__reduce__`` restores
+        fields directly), so forked workers pay nothing.
+        """
+        from ..service.registry import get_problem
+
+        get_problem(self.kind)
+
+    def fingerprint(self) -> str:
+        """Injective digest of the problem identity (kind + preset options).
+
+        Stored in every checkpoint manifest and compared on resume, and
+        the dedup key of the job server's result cache:
         scheme/lattice/shape/tau are validated field by field, and this
         digest extends the check to the preset options (initial fields,
         forcing, boundary method, ...) that equally shape the
-        trajectory. Array-valued options hash their bytes.
+        trajectory. Array-valued options hash their dtype, shape and
+        bytes.
+
+        Every field is length-prefixed before hashing (and values carry
+        their type name), so no two distinct specs can produce the same
+        byte stream — version 1 concatenated raw reprs, letting
+        ``{"x1": 2}`` and ``{"x": 12}`` collide. Bump
+        :data:`FINGERPRINT_VERSION` when this encoding changes.
         """
         h = hashlib.sha256()
-        h.update(repr((self.kind, self.scheme, self.lattice,
-                       tuple(self.shape), float(self.tau))).encode())
+
+        def feed(data: bytes) -> None:
+            h.update(len(data).to_bytes(8, "big"))
+            h.update(data)
+
+        feed(b"fingerprint-v%d" % FINGERPRINT_VERSION)
+        for part in (self.kind, self.scheme, self.lattice):
+            feed(str(part).encode())
+        feed(repr(tuple(int(s) for s in self.shape)).encode())
+        feed(repr(float(self.tau)).encode())
         for key in sorted(self.options):
             value = self.options[key]
-            h.update(key.encode())
+            feed(key.encode())
             if isinstance(value, np.ndarray):
-                h.update(repr((value.shape, str(value.dtype))).encode())
-                h.update(np.ascontiguousarray(value).tobytes())
+                feed(b"ndarray")
+                feed(repr((tuple(value.shape), str(value.dtype))).encode())
+                feed(np.ascontiguousarray(value).tobytes())
             else:
-                h.update(repr(value).encode())
+                feed(f"{type(value).__name__}:{value!r}".encode())
         return h.hexdigest()[:16]
 
     def build(self) -> DistributedSolver:
-        """Construct the emulated solver this spec describes."""
-        if self.kind == "channel":
-            return distributed_channel_problem(
-                self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
-                tau=self.tau, accel=self.accel, **self.options)
-        if self.kind == "forced-channel":
-            return distributed_forced_channel_problem(
-                self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
-                tau=self.tau, accel=self.accel, **self.options)
-        if self.kind == "periodic":
-            return distributed_periodic_problem(
-                self.scheme, self.lattice, tuple(self.shape), self.n_ranks,
-                tau=self.tau, accel=self.accel, **self.options)
-        raise ValueError(f"unknown problem kind {self.kind!r}")
+        """Construct the emulated solver this spec describes.
+
+        Dispatches through the shared problem registry
+        (:mod:`repro.service.registry`), so every kind registered there
+        — built-in or site-specific — is runnable from a spec.
+        """
+        from ..service.registry import build_distributed
+
+        return build_distributed(
+            self.kind, self.scheme, self.lattice, tuple(self.shape),
+            self.n_ranks, tau=self.tau, accel=self.accel, **self.options)
 
 
 @dataclass
@@ -527,7 +558,8 @@ class ProcessRuntime:
         validate_checkpoint_manifest(
             manifest, scheme=spec.scheme, lattice=spec.lattice,
             shape=tuple(spec.shape), tau=spec.tau,
-            fingerprint=spec.fingerprint())
+            fingerprint=spec.fingerprint(),
+            fingerprint_version=FINGERPRINT_VERSION)
         start_step = checkpoint_step(found)
         if start_step >= int(n_steps):
             raise ValueError(
@@ -630,7 +662,26 @@ class ProcessRuntime:
         try:
             for p in procs:
                 p.start()
-            results, failures = self._harvest(procs, errq, resq, run_timeout)
+            try:
+                results, failures = self._harvest(procs, errq, resq,
+                                                  run_timeout)
+            except KeyboardInterrupt:
+                # SIGINT lands on the whole foreground process group, so
+                # the workers are dying too — but _harvest was unwound
+                # mid-join, skipping its terminate/escalate path. Tear
+                # the cohort down here so the ``finally`` below unlinks
+                # every /dev/shm segment with no worker still attached,
+                # then let the interrupt propagate (the CLI maps it to
+                # exit 130).
+                for p in procs:
+                    if p.is_alive():
+                        p.terminate()
+                for p in procs:
+                    p.join(timeout=2.0)
+                    if p.is_alive():
+                        p.kill()
+                        p.join(timeout=2.0)
+                raise
             wall = time.perf_counter() - t0
             if failures or len(results) != spec.n_ranks:
                 if not failures:

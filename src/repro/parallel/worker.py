@@ -72,7 +72,13 @@ from ..obs.events import EventStream, RunEventEmitter
 from ..obs.manifest import RunManifest
 from ..obs.watchdog import check_fields
 from .faults import maybe_inject, normalize_fault
-from .runtime import RunSpec, ShmPlan, attach_shm, shm_view
+from .runtime import (
+    FINGERPRINT_VERSION,
+    RunSpec,
+    ShmPlan,
+    attach_shm,
+    shm_view,
+)
 
 __all__ = ["worker_main"]
 
@@ -109,6 +115,7 @@ def _write_checkpoint(spec: RunSpec, solver, state, rank: int, step: int,
             spec, step, kind=spec.kind, n_ranks=spec.n_ranks,
             backend="process", accel=spec.accel,
             fingerprint=spec.fingerprint(),
+            fingerprint_version=FINGERPRINT_VERSION,
         ).write(step_dir / "manifest.json")
         mark_checkpoint_complete(step_dir)
         prune_checkpoints(spec.checkpoint_dir, keep=spec.checkpoint_keep)

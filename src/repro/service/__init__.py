@@ -1,0 +1,53 @@
+"""Simulation-as-a-service: problem registry, job scheduler, server, client.
+
+This package turns the one-shot CLI/runtime stack into a long-lived
+service (ROADMAP open item 2):
+
+:mod:`repro.service.registry`
+    The shared problem registry — one ``kind -> builders`` table used by
+    the CLI, the distributed runtime (:meth:`RunSpec.build`), the sweep
+    engine and the job server, replacing the open-coded dispatch that
+    each entry point used to duplicate.
+:mod:`repro.service.jobs`
+    The job model and scheduler: a bounded worker pool multiplexing
+    queued :class:`~repro.parallel.runtime.RunSpec` jobs over the
+    fault-tolerant :class:`~repro.parallel.runtime.ProcessRuntime`, with
+    fingerprint-keyed dedup serving repeat submissions from sealed
+    result manifests.
+:mod:`repro.service.server`
+    ``mrlbm serve`` — a stdlib-only asyncio HTTP server (TCP or Unix
+    socket) exposing submit / list / status / result / event-stream
+    endpoints over the scheduler.
+:mod:`repro.service.client`
+    The blocking client behind ``mrlbm submit`` / ``mrlbm jobs``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobScheduler, job_key, spec_from_dict
+from .registry import (
+    ProblemKind,
+    build_distributed,
+    build_single,
+    get_problem,
+    problem_kinds,
+    register_problem,
+    sweep_kinds,
+)
+from .server import JobServer
+
+__all__ = [
+    "ProblemKind",
+    "register_problem",
+    "get_problem",
+    "problem_kinds",
+    "sweep_kinds",
+    "build_distributed",
+    "build_single",
+    "Job",
+    "JobScheduler",
+    "job_key",
+    "spec_from_dict",
+    "JobServer",
+    "ServiceClient",
+    "ServiceError",
+]

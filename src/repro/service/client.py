@@ -1,0 +1,164 @@
+"""Blocking client for the job server (behind ``mrlbm submit``/``jobs``).
+
+:class:`ServiceClient` wraps :mod:`http.client` so the CLI and tests
+talk to :class:`~repro.service.server.JobServer` without any third-party
+dependency. Addresses are either ``host:port`` (TCP) or a filesystem
+path (Unix-domain socket — anything containing ``/``). Event streams
+are exposed as a generator over the server's close-delimited ndjson
+body, so ``for event in client.events(job_id, follow=True)`` tails a
+live run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx server response; carries the HTTP ``status``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class _UnixConnection(http.client.HTTPConnection):
+    """An ``http.client`` connection over a Unix-domain socket."""
+
+    def __init__(self, path: str, timeout: float | None = None):
+        super().__init__("localhost", timeout=timeout)
+        self._uds_path = path
+
+    def connect(self) -> None:
+        """Open the AF_UNIX stream socket instead of TCP."""
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self._uds_path)
+
+
+class ServiceClient:
+    """Talk to a running job server.
+
+    Parameters
+    ----------
+    address:
+        ``host:port`` for TCP, or a socket path (contains ``/``) for a
+        Unix-domain server — the same string ``mrlbm serve`` prints.
+    timeout:
+        Per-connection socket timeout in seconds. Streaming reads
+        (:meth:`events` with ``follow=True``) use it per line, so it
+        must exceed the server's poll cadence (it does by default).
+    """
+
+    def __init__(self, address: str, timeout: float | None = 60.0):
+        self.address = address
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        """A fresh connection (the server closes after every response)."""
+        if "/" in self.address:
+            return _UnixConnection(self.address, timeout=self.timeout)
+        host, _, port = self.address.rpartition(":")
+        return http.client.HTTPConnection(host or "127.0.0.1",
+                                          int(port), timeout=self.timeout)
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> dict:
+        """One JSON round trip; raises :class:`ServiceError` on non-2xx."""
+        conn = self._connect()
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read().decode("utf-8", "replace")
+            if resp.status >= 300:
+                try:
+                    message = json.loads(data).get("error", data)
+                except json.JSONDecodeError:
+                    message = data.strip()
+                raise ServiceError(resp.status, message)
+            return json.loads(data) if data.strip() else {}
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def kinds(self) -> dict:
+        """``GET /kinds`` — registered problem kinds with descriptions."""
+        return self.request("GET", "/kinds")["kinds"]
+
+    def submit(self, payload: dict) -> dict:
+        """``POST /jobs`` — returns ``{"job": ..., "created": bool}``."""
+        return self.request("POST", "/jobs", payload)
+
+    def jobs(self) -> list[dict]:
+        """``GET /jobs`` — every job's summary."""
+        return self.request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — one job's state."""
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/result`` — the sealed result (409 until done)."""
+        return self.request("GET", f"/jobs/{job_id}/result")
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown`` — ask the server to stop."""
+        return self.request("POST", "/shutdown")
+
+    def events(self, job_id: str, follow: bool = False):
+        """Generator over ``GET /jobs/<id>/events`` ndjson lines.
+
+        With ``follow=True`` the server keeps the stream open until the
+        job finishes; iteration ends when the server closes it.
+        """
+        conn = self._connect()
+        try:
+            suffix = "?follow=1" if follow else ""
+            conn.request("GET", f"/jobs/{job_id}/events{suffix}")
+            resp = conn.getresponse()
+            if resp.status >= 300:
+                data = resp.read().decode("utf-8", "replace")
+                try:
+                    message = json.loads(data).get("error", data)
+                except json.JSONDecodeError:
+                    message = data.strip()
+                raise ServiceError(resp.status, message)
+            while True:
+                line = resp.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.25) -> dict:
+        """Poll until the job reaches a terminal state; returns its summary.
+
+        Raises ``TimeoutError`` if the job is still queued/running when
+        ``timeout_s`` elapses.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job.get("state") in ("done", "failed"):
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job.get('state')!r} after "
+                    f"{timeout_s:.0f}s")
+            time.sleep(poll_s)

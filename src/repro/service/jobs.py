@@ -1,0 +1,363 @@
+"""Job model and scheduler: a bounded pool over the fault-tolerant runtime.
+
+A *job* is one :class:`~repro.parallel.runtime.RunSpec` plus a step
+count. The :class:`JobScheduler` queues submitted jobs and multiplexes
+them over a bounded worker pool — each worker drives one blocking
+:class:`~repro.parallel.runtime.ProcessRuntime` run in a thread, so a
+job transparently inherits the runtime's checkpointing, supervised
+retry and watchdog machinery. Every job gets its own directory under
+the scheduler root holding the per-rank event streams (tailed by the
+server's ``/jobs/<id>/events``), the gathered fields, a manifest and a
+``COMPLETE`` seal.
+
+Dedup: jobs are keyed by :func:`job_key` — the (collision-fixed)
+:meth:`RunSpec.fingerprint` plus the step count. Re-submitting an
+identical spec while the first is queued or running coalesces onto it;
+re-submitting after it finished serves the sealed result from cache
+without recomputation. Failed keys are cleared so a retry actually
+reruns. On startup the scheduler rescans its root and re-adopts every
+sealed job directory whose ``fingerprint_version`` matches the current
+one, so the cache survives restarts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..obs.manifest import RunManifest
+from ..parallel.runtime import FINGERPRINT_VERSION, RunSpec
+
+__all__ = ["Job", "JobScheduler", "job_key", "spec_from_dict"]
+
+#: Job states, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: RunSpec fields a submission payload may set (beyond the required
+#: ones); everything else is rejected so typos fail loudly.
+_SPEC_FIELDS = ("kind", "scheme", "lattice", "shape", "n_ranks", "tau",
+                "options", "accel", "checkpoint_every", "checkpoint_keep",
+                "max_restarts", "watchdog_every", "events_every", "fault")
+_REQUIRED = ("kind", "scheme", "lattice", "shape")
+
+
+def job_key(fingerprint: str, n_steps: int) -> str:
+    """Dedup key of a submission: problem fingerprint + step count."""
+    return f"{fingerprint}-{int(n_steps):08d}"
+
+
+def spec_from_dict(payload: dict) -> tuple[RunSpec, int]:
+    """Validate a JSON submission payload into ``(RunSpec, n_steps)``.
+
+    The payload must carry ``kind``/``scheme``/``lattice``/``shape``
+    plus a positive integer ``steps``; it may set any field named in
+    ``_SPEC_FIELDS``. Unknown keys, malformed values and unknown
+    problem kinds all raise ``ValueError`` with a client-presentable
+    message (the server maps them to HTTP 400).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("a job submission must be a JSON object")
+    unknown = sorted(set(payload) - set(_SPEC_FIELDS) - {"steps"})
+    if unknown:
+        raise ValueError(f"unknown submission field(s): {', '.join(unknown)}")
+    missing = sorted(set(_REQUIRED) - set(payload))
+    if missing:
+        raise ValueError(f"missing required field(s): {', '.join(missing)}")
+    try:
+        n_steps = int(payload.get("steps", 0))
+    except (TypeError, ValueError):
+        raise ValueError(f"steps must be an integer, "
+                         f"got {payload.get('steps')!r}") from None
+    if n_steps <= 0:
+        raise ValueError(f"steps must be a positive integer, got {n_steps}")
+    shape = payload["shape"]
+    if (not isinstance(shape, (list, tuple)) or not shape
+            or not all(isinstance(s, int) and s > 0 for s in shape)):
+        raise ValueError(f"shape must be a list of positive integers, "
+                         f"got {shape!r}")
+    options = payload.get("options", {})
+    if not isinstance(options, dict):
+        raise ValueError(f"options must be an object, got {options!r}")
+    kwargs = {k: payload[k] for k in _SPEC_FIELDS
+              if k in payload and k not in ("kind", "scheme", "lattice",
+                                            "shape", "options")}
+    spec = RunSpec(kind=str(payload["kind"]), scheme=str(payload["scheme"]),
+                   lattice=str(payload["lattice"]),
+                   shape=tuple(int(s) for s in shape),
+                   n_ranks=int(payload.get("n_ranks", 1)),
+                   options=dict(options), **{k: v for k, v in kwargs.items()
+                                             if k != "n_ranks"})
+    return spec, n_steps
+
+
+@dataclass
+class Job:
+    """One scheduled run: spec + step count + lifecycle state.
+
+    ``spec`` is ``None`` for sealed jobs re-adopted from disk on
+    scheduler restart (the result alone serves cache hits); live
+    submissions always carry theirs.
+    """
+
+    id: str
+    key: str
+    spec: RunSpec | None
+    n_steps: int
+    dir: Path
+    state: str = "queued"
+    created_unix: float = field(default_factory=time.time)
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    error: str | None = None
+    result: dict | None = None
+    hits: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable job summary (what the API returns)."""
+        out = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "steps": self.n_steps,
+            "dir": str(self.dir),
+            "created_unix": self.created_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "error": self.error,
+            "hits": self.hits,
+        }
+        if self.spec is not None:
+            out["spec"] = {
+                "kind": self.spec.kind,
+                "scheme": self.spec.scheme,
+                "lattice": self.spec.lattice,
+                "shape": list(self.spec.shape),
+                "n_ranks": self.spec.n_ranks,
+                "tau": self.spec.tau,
+                "accel": self.spec.accel,
+            }
+        elif self.result is not None:
+            out["spec"] = self.result.get("spec")
+        return out
+
+
+class JobScheduler:
+    """Bounded-concurrency job executor with fingerprint dedup.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per job (events, fields,
+        manifest, seal). Created on :meth:`start`; rescanned for sealed
+        results so the dedup cache survives restarts.
+    workers:
+        Worker-pool width: how many jobs run concurrently. Each worker
+        occupies one thread driving a blocking ProcessRuntime run (the
+        run's rank processes parallelize beneath it).
+    run_timeout:
+        Per-job wall-clock budget in seconds forwarded to
+        :meth:`ProcessRuntime.run` (``None`` = unbounded).
+
+    Notes
+    -----
+    All public methods must be called from the event-loop thread; only
+    the private ``_execute`` body runs in job threads, and it touches
+    no scheduler state. Jobs run on *dedicated* ``threading.Thread``s
+    (one per running job, bounded by the worker coroutines), never on a
+    ``ThreadPoolExecutor``: the runtime forks its rank processes from
+    the executing thread, and a child forked from a pool thread dies at
+    interpreter shutdown when ``concurrent.futures``' atexit hook tries
+    to join what is now the child's own main thread.
+    """
+
+    def __init__(self, root: str | Path, workers: int = 2,
+                 run_timeout: float | None = None):
+        self.root = Path(root)
+        self.workers = max(int(workers), 1)
+        self.run_timeout = run_timeout
+        self.jobs: dict[str, Job] = {}
+        self.runs_executed = 0
+        self._by_key: dict[str, Job] = {}
+        self._queue: asyncio.Queue[Job] | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._next_id = 1
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "JobScheduler":
+        """Create the root, re-adopt sealed jobs, start the worker pool."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._rescan()
+        self._queue = asyncio.Queue()
+        self._tasks = [asyncio.create_task(self._worker(), name=f"job-w{i}")
+                       for i in range(self.workers)]
+        return self
+
+    async def close(self) -> None:
+        """Cancel the worker tasks (running job threads finish detached)."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+
+    def _rescan(self) -> None:
+        """Re-adopt sealed job directories left by a previous scheduler.
+
+        Only results whose recorded ``fingerprint_version`` matches the
+        current one are trusted as cache entries — a sealed directory
+        from before the fingerprint fix would otherwise serve a result
+        keyed by a colliding digest.
+        """
+        for complete in sorted(self.root.glob("job-*/COMPLETE")):
+            job_dir = complete.parent
+            result_path = job_dir / "result.json"
+            m = re.fullmatch(r"job-(\d+)", job_dir.name)
+            if m is None or not result_path.exists():
+                continue
+            try:
+                result = json.loads(result_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if result.get("fingerprint_version") != FINGERPRINT_VERSION:
+                continue
+            key = result.get("job_key")
+            if not key:
+                continue
+            job = Job(id=job_dir.name, key=key, spec=None,
+                      n_steps=int(result.get("steps", 0)), dir=job_dir,
+                      state="done", result=result,
+                      finished_unix=result.get("finished_unix"))
+            self.jobs[job.id] = job
+            self._by_key.setdefault(key, job)
+            self._next_id = max(self._next_id, int(m.group(1)) + 1)
+
+    # -- submission / queries ------------------------------------------
+    def submit(self, spec: RunSpec, n_steps: int) -> tuple[Job, bool]:
+        """Submit a run; returns ``(job, created)``.
+
+        An identical in-flight or completed submission (same
+        fingerprint, same step count) coalesces: the existing job is
+        returned with ``created=False`` and its ``hits`` counter bumped
+        — a completed one serves its sealed result with no recompute.
+        A previously *failed* key is cleared and rerun.
+        """
+        if self._queue is None:
+            raise RuntimeError("scheduler is not started")
+        key = job_key(spec.fingerprint(), n_steps)
+        existing = self._by_key.get(key)
+        if existing is not None and existing.state != "failed":
+            existing.hits += 1
+            return existing, False
+        job = Job(id=f"job-{self._next_id:06d}", key=key, spec=spec,
+                  n_steps=int(n_steps),
+                  dir=self.root / f"job-{self._next_id:06d}")
+        self._next_id += 1
+        self.jobs[job.id] = job
+        self._by_key[key] = job
+        self._queue.put_nowait(job)
+        return job, True
+
+    def get(self, job_id: str) -> Job | None:
+        """The job with this id, or ``None``."""
+        return self.jobs.get(job_id)
+
+    def list(self) -> list[Job]:
+        """Every known job, oldest first."""
+        return [self.jobs[k] for k in sorted(self.jobs)]
+
+    # -- execution -----------------------------------------------------
+    async def _run_in_thread(self, job: Job) -> dict:
+        """Run ``_execute(job)`` on a dedicated thread; await its outcome."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def target() -> None:
+            """Job-thread body: run, then post the outcome to the loop."""
+            try:
+                outcome = self._execute(job)
+            except BaseException as exc:
+                result, value = future.set_exception, exc
+            else:
+                result, value = future.set_result, outcome
+            try:
+                loop.call_soon_threadsafe(result, value)
+            except RuntimeError:
+                pass                        # loop already closed
+
+        threading.Thread(target=target, name=f"mrlbm-{job.id}",
+                         daemon=True).start()
+        return await future
+
+    async def _worker(self) -> None:
+        """One pool worker: drain the queue, run each job on its thread."""
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            job.state = "running"
+            job.started_unix = time.time()
+            try:
+                job.result = await self._run_in_thread(job)
+                job.state = "done"
+                self.runs_executed += 1
+            except Exception as exc:
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                job.finished_unix = time.time()
+                self._queue.task_done()
+
+    def _execute(self, job: Job) -> dict:
+        """Run one job to completion and seal its directory (pool thread)."""
+        from ..parallel.runtime import ProcessRuntime
+
+        spec = job.spec
+        assert spec is not None
+        job.dir.mkdir(parents=True, exist_ok=True)
+        run_spec = dataclasses.replace(
+            spec, events_dir=str(job.dir),
+            checkpoint_dir=(str(job.dir / "ckpt") if spec.checkpoint_every
+                            else spec.checkpoint_dir))
+        runtime = ProcessRuntime(run_spec)
+        outcome = runtime.run(job.n_steps, run_timeout=self.run_timeout)
+
+        np.savez_compressed(job.dir / "fields.npz",
+                            rho=outcome.rho, u=outcome.u)
+        fingerprint = spec.fingerprint()
+        result = {
+            "job_key": job.key,
+            "fingerprint": fingerprint,
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "spec": {
+                "kind": spec.kind, "scheme": spec.scheme,
+                "lattice": spec.lattice, "shape": list(spec.shape),
+                "n_ranks": spec.n_ranks, "tau": spec.tau,
+                "accel": spec.accel,
+            },
+            "steps": outcome.steps,
+            "restarts": outcome.restarts,
+            "wall_s": outcome.wall_s,
+            "mlups": outcome.report.get("mlups", 0.0),
+            "fields": "fields.npz",
+            "finished_unix": time.time(),
+        }
+        (job.dir / "result.json").write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        RunManifest.from_run_spec(
+            spec, outcome.steps, kind=spec.kind, n_ranks=spec.n_ranks,
+            fingerprint=fingerprint, fingerprint_version=FINGERPRINT_VERSION,
+            job_key=job.key, mlups=result["mlups"],
+        ).write(job.dir / "manifest.json")
+        (job.dir / "COMPLETE").write_text("sealed\n", encoding="utf-8")
+        return result

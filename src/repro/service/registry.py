@@ -1,0 +1,222 @@
+"""The shared problem registry: one ``kind -> builders`` table for everyone.
+
+Before this module, every entry point open-coded its own problem
+dispatch: ``RunSpec.build()`` hard-wired three distributed presets, the
+sweep engine duplicated the single-domain variants, and the masked
+cylinder/porous geometries existed only inside ``compare_backends``.
+The registry replaces all of that with one table: each
+:class:`ProblemKind` names a problem and carries its distributed and
+single-domain builders, so the CLI, the distributed runtime, the sweep
+engine and the job server all resolve kinds — and reject unknown ones —
+in exactly one place.
+
+Registration is open: downstream code may :func:`register_problem` its
+own kinds (e.g. a site-specific geometry) and they become visible to
+``mrlbm run/serve/submit`` and :class:`~repro.parallel.runtime.RunSpec`
+validation without touching this package.
+
+The default kinds load lazily on first lookup, because their builders
+live in :mod:`repro.solver.presets` / :mod:`repro.parallel.presets`
+while :mod:`repro.parallel.runtime` consults this registry from
+``RunSpec`` — eager imports would be circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ProblemKind",
+    "register_problem",
+    "get_problem",
+    "problem_kinds",
+    "sweep_kinds",
+    "build_distributed",
+    "build_single",
+]
+
+
+@dataclass(frozen=True)
+class ProblemKind:
+    """One registered problem: a name plus its builders.
+
+    Parameters
+    ----------
+    name:
+        The ``RunSpec.kind`` string (e.g. ``"forced-channel"``).
+    description:
+        One-line human description, surfaced by ``mrlbm jobs --kinds``
+        and the server's ``GET /kinds``.
+    distributed:
+        Builder ``(scheme, lattice, shape, n_ranks, *, tau, accel,
+        **options) -> DistributedSolver``, or ``None`` when the kind has
+        no distributed form.
+    single:
+        Builder ``(scheme, lattice, shape, *, tau, backend, **options)
+        -> Solver``, or ``None`` when the kind has no single-domain
+        form.
+    sweepable:
+        Whether ``mrlbm sweep`` may expand over this kind (requires a
+        ``single`` builder that accepts ``u_max``).
+    """
+
+    name: str
+    description: str
+    distributed: Callable | None = None
+    single: Callable | None = None
+    sweepable: bool = False
+
+
+_REGISTRY: dict[str, ProblemKind] = {}
+_DEFAULTS_LOADED = False
+
+
+def register_problem(kind: ProblemKind) -> ProblemKind:
+    """Register (or replace) a problem kind; returns it for chaining."""
+    if not kind.name:
+        raise ValueError("a problem kind needs a non-empty name")
+    _REGISTRY[kind.name] = kind
+    return kind
+
+
+def _taylor_green_fields(lattice: str, shape: tuple[int, ...], tau: float,
+                         u_max: float):
+    """Initial ``(rho0, u0)`` of the 2D Taylor-Green vortex at ``t=0``."""
+    from ..lattice import get_lattice
+    from ..validation import taylor_green_fields
+
+    lat = get_lattice(lattice)
+    if lat.d != 2:
+        raise ValueError(
+            "the taylor-green problem is 2D; pick a D2 lattice "
+            f"(got {lattice})")
+    nu = lat.viscosity(tau)
+    return taylor_green_fields(tuple(shape), 0.0, nu, u_max)
+
+
+def _load_defaults() -> None:
+    """Populate the registry with the built-in kinds (idempotent)."""
+    global _DEFAULTS_LOADED
+    if _DEFAULTS_LOADED:
+        return
+    _DEFAULTS_LOADED = True
+
+    from ..parallel.presets import (
+        distributed_channel_problem,
+        distributed_cylinder_problem,
+        distributed_forced_channel_problem,
+        distributed_periodic_problem,
+        distributed_porous_problem,
+    )
+    from ..solver.presets import (
+        channel_problem,
+        cylinder_channel_problem,
+        forced_channel_problem,
+        periodic_problem,
+        porous_channel_problem,
+    )
+
+    def distributed_taylor_green(scheme, lattice, shape, n_ranks,
+                                 tau=0.8, u_max=0.05, **kwargs):
+        """Distributed 2D Taylor-Green vortex (periodic box + TG fields)."""
+        rho0, u0 = _taylor_green_fields(lattice, shape, tau, float(u_max))
+        return distributed_periodic_problem(scheme, lattice, shape, n_ranks,
+                                            tau=tau, rho0=rho0, u0=u0,
+                                            **kwargs)
+
+    def single_taylor_green(scheme, lattice, shape, tau=0.8, u_max=0.05,
+                            backend="reference", **kwargs):
+        """Single-domain 2D Taylor-Green vortex (periodic box + TG fields)."""
+        rho0, u0 = _taylor_green_fields(lattice, shape, tau, float(u_max))
+        return periodic_problem(scheme, lattice, shape, tau=tau, rho0=rho0,
+                                u0=u0, backend=backend, **kwargs)
+
+    register_problem(ProblemKind(
+        "channel",
+        "rectangular channel with Poiseuille inlet and pressure outlet "
+        "(the paper's proxy app)",
+        distributed=distributed_channel_problem,
+        single=channel_problem, sweepable=True))
+    register_problem(ProblemKind(
+        "forced-channel",
+        "body-force-driven channel, streamwise-periodic, bounce-back walls",
+        distributed=distributed_forced_channel_problem,
+        single=forced_channel_problem, sweepable=True))
+    register_problem(ProblemKind(
+        "periodic",
+        "fully periodic box with caller-supplied initial fields",
+        distributed=distributed_periodic_problem,
+        single=periodic_problem))
+    register_problem(ProblemKind(
+        "taylor-green",
+        "2D Taylor-Green vortex in a periodic box (analytic decay)",
+        distributed=distributed_taylor_green,
+        single=single_taylor_green, sweepable=True))
+    register_problem(ProblemKind(
+        "cylinder",
+        "force-driven channel with a staircase cylinder obstacle",
+        distributed=distributed_cylinder_problem,
+        single=cylinder_channel_problem))
+    register_problem(ProblemKind(
+        "porous",
+        "force-driven flow through a seeded random porous medium",
+        distributed=distributed_porous_problem,
+        single=porous_channel_problem))
+
+
+def get_problem(name: str) -> ProblemKind:
+    """Look up a registered kind; raise ``ValueError`` for unknown names."""
+    _load_defaults()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown problem kind {name!r}; registered kinds: "
+            f"{', '.join(problem_kinds())}") from None
+
+
+def problem_kinds() -> tuple[str, ...]:
+    """Sorted names of every registered kind."""
+    _load_defaults()
+    return tuple(sorted(_REGISTRY))
+
+
+def sweep_kinds() -> tuple[str, ...]:
+    """Sorted names of the kinds ``mrlbm sweep`` may expand over."""
+    _load_defaults()
+    return tuple(sorted(k for k, v in _REGISTRY.items() if v.sweepable))
+
+
+def build_distributed(name: str, scheme: str, lattice: str,
+                      shape: tuple[int, ...], n_ranks: int, *,
+                      tau: float = 0.8, accel: str = "reference",
+                      **options):
+    """Build the distributed solver of a registered kind.
+
+    This is the engine behind :meth:`RunSpec.build`; raises
+    ``ValueError`` for unknown kinds and for kinds without a
+    distributed form.
+    """
+    kind = get_problem(name)
+    if kind.distributed is None:
+        raise ValueError(
+            f"problem kind {name!r} has no distributed builder")
+    return kind.distributed(scheme, lattice, tuple(shape), int(n_ranks),
+                            tau=tau, accel=accel, **options)
+
+
+def build_single(name: str, scheme: str, lattice: str,
+                 shape: tuple[int, ...], *, tau: float = 0.8,
+                 backend: str = "reference", **options):
+    """Build the single-domain solver of a registered kind.
+
+    Used by ``mrlbm run`` and the sweep engine; raises ``ValueError``
+    for unknown kinds and for kinds without a single-domain form.
+    """
+    kind = get_problem(name)
+    if kind.single is None:
+        raise ValueError(
+            f"problem kind {name!r} has no single-domain builder")
+    return kind.single(scheme, lattice, tuple(shape), tau=tau,
+                       backend=backend, **options)

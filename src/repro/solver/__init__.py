@@ -20,7 +20,9 @@ from .monitors import (
 from .presets import (
     SCHEMES,
     channel_problem,
+    cylinder_channel_problem,
     forced_channel_problem,
+    porous_channel_problem,
     make_solver,
     periodic_problem,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "channel_problem",
     "periodic_problem",
     "forced_channel_problem",
+    "cylinder_channel_problem",
+    "porous_channel_problem",
     "Monitor",
     "Monitors",
     "EnergyMonitor",

@@ -21,7 +21,9 @@ from .moment import MRPSolver, MRRSolver
 from .standard import STSolver
 
 __all__ = ["SCHEMES", "make_solver", "channel_problem", "periodic_problem",
-           "forced_channel_problem"]
+           "forced_channel_problem", "cylinder_channel_problem",
+           "porous_channel_problem", "channel_body_force",
+           "cylinder_channel_domain"]
 
 SCHEMES: dict[str, type[Solver]] = {
     "ST": STSolver,
@@ -139,6 +141,99 @@ def forced_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
     nu = lat.viscosity(tau)
     force = np.zeros(lat.d)
     force[0] = 8.0 * nu * u_max / (h * h)
+    return make_solver(scheme, lat, domain, tau,
+                       boundaries=[HalfwayBounceBack()], force=force,
+                       backend=backend)
+
+
+def channel_body_force(lat: LatticeDescriptor, shape: tuple[int, ...],
+                       tau: float, u_max: float) -> np.ndarray:
+    """Streamwise body force driving a channel to peak near ``u_max``.
+
+    The plane-Poiseuille sizing ``F = 8 nu u_max / H^2`` with ``H`` the
+    wall-to-wall width — shared by every force-driven preset (forced
+    channel, cylinder, distributed variants) so single-domain and
+    distributed builders stay bit-identical.
+    """
+    h = shape[1] - 2
+    nu = lat.viscosity(tau)
+    force = np.zeros(lat.d)
+    force[0] = 8.0 * nu * u_max / (h * h)
+    return force
+
+
+def cylinder_channel_domain(lat: LatticeDescriptor, shape: tuple[int, ...],
+                            radius: float | None = None) -> Domain:
+    """Walled channel (no I/O planes) with a cylinder obstacle.
+
+    The cylinder sits at ``x = nx/4`` on the channel centreline with
+    default radius ``max(2, ny/8)``; in 3D its axis spans ``z``. The
+    deterministic placement means a :class:`~repro.parallel.RunSpec`
+    rebuilds the identical mask on every rank.
+    """
+    from ..geometry.domain import SOLID
+
+    if len(shape) != lat.d:
+        raise ValueError(
+            f"shape {shape} does not match lattice dimension {lat.d}")
+    base = (channel_2d(*shape, with_io=False) if lat.d == 2
+            else channel_3d(*shape, with_io=False))
+    nt = np.array(base.node_type)
+    cx, cy = shape[0] / 4.0, (shape[1] - 1) / 2.0
+    if radius is None:
+        radius = max(2.0, shape[1] / 8.0)
+    x, y = np.meshgrid(np.arange(shape[0]), np.arange(shape[1]),
+                       indexing="ij")
+    disk = (x - cx) ** 2 + (y - cy) ** 2 <= float(radius) ** 2
+    nt[disk if lat.d == 2 else disk[..., None] & np.ones(shape, bool)] = SOLID
+    return Domain(nt)
+
+
+def cylinder_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
+                             shape: tuple[int, ...], tau: float = 0.8,
+                             u_max: float = 0.05,
+                             radius: float | None = None,
+                             backend: str = "reference") -> Solver:
+    """Force-driven channel with a staircase cylinder obstacle.
+
+    Periodic streamwise with half-way bounce-back on the walls *and* the
+    cylinder staircase — the masked-geometry workload the ``sparse``
+    backend folds into its gather tables (see ``mrlbm profile --accel
+    compare --problem cylinder``), now a first-class problem kind shared
+    by the CLI, the distributed runtime and the job server.
+    """
+    lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
+    domain = cylinder_channel_domain(lat, shape, radius)
+    force = channel_body_force(lat, shape, tau, u_max)
+    return make_solver(scheme, lat, domain, tau,
+                       boundaries=[HalfwayBounceBack()], force=force,
+                       backend=backend)
+
+
+def porous_channel_problem(scheme: str, lattice: str | LatticeDescriptor,
+                           shape: tuple[int, ...], tau: float = 0.8,
+                           solid_fraction: float = 0.85, seed: int = 0,
+                           force_x: float = 1e-6,
+                           backend: str = "reference") -> Solver:
+    """Force-driven flow through a seeded random porous medium.
+
+    Mirrors the benchmark suite's ``porous`` cells: each node is solid
+    with probability ``solid_fraction`` (seeded, so every rank and every
+    resubmission rebuilds the identical microstructure), driven by a
+    uniform streamwise body force ``force_x`` against half-way
+    bounce-back — the ~15%-fluid regime where the ``sparse`` backend's
+    compact state pays off.
+    """
+    from ..geometry import porous_medium
+
+    lat = get_lattice(lattice) if isinstance(lattice, str) else lattice
+    if len(shape) != lat.d:
+        raise ValueError(
+            f"shape {shape} does not match lattice dimension {lat.d}")
+    domain = porous_medium(shape, solid_fraction=float(solid_fraction),
+                           seed=int(seed))
+    force = np.zeros(lat.d)
+    force[0] = float(force_x)
     return make_solver(scheme, lat, domain, tau,
                        boundaries=[HalfwayBounceBack()], force=force,
                        backend=backend)

@@ -48,10 +48,11 @@ class TestCommands:
         assert rc == 0
         assert "MR-R" in capsys.readouterr().out
 
-    def test_run_taylor_green_needs_2d(self):
-        with pytest.raises(SystemExit):
-            main(["run", "--problem", "taylor-green", "--shape", "8,8,8",
-                  "--lattice", "D3Q19", "--steps", "1"])
+    def test_run_taylor_green_needs_2d(self, capsys):
+        rc = main(["run", "--problem", "taylor-green", "--shape", "8,8,8",
+                   "--lattice", "D3Q19", "--steps", "1"])
+        assert rc == 2
+        assert "2D" in capsys.readouterr().err
 
     def test_run_distributed_emulated(self, capsys):
         rc = main(["run", "--scheme", "ST", "--shape", "24,10",

@@ -1,0 +1,118 @@
+"""The shared problem registry: one kind table for CLI/runtime/sweep/server."""
+
+import numpy as np
+import pytest
+
+from repro.service.registry import (
+    ProblemKind,
+    build_distributed,
+    build_single,
+    get_problem,
+    problem_kinds,
+    register_problem,
+    sweep_kinds,
+)
+
+
+class TestRegistryContents:
+    """The default kind table."""
+
+    def test_default_kinds_registered(self):
+        kinds = problem_kinds()
+        for name in ("channel", "forced-channel", "periodic",
+                     "taylor-green", "cylinder", "porous"):
+            assert name in kinds
+
+    def test_kinds_sorted(self):
+        assert list(problem_kinds()) == sorted(problem_kinds())
+
+    def test_sweep_kinds_subset(self):
+        assert list(sweep_kinds()) == ["channel", "forced-channel",
+                                       "taylor-green"]
+        assert set(sweep_kinds()) <= set(problem_kinds())
+
+    def test_unknown_kind_message_lists_registered(self):
+        with pytest.raises(ValueError, match="unknown problem kind"):
+            get_problem("no-such-problem")
+
+    def test_descriptions_present(self):
+        for name in problem_kinds():
+            assert get_problem(name).description
+
+    def test_custom_registration(self):
+        kind = ProblemKind(name="test-custom", description="a test kind",
+                           distributed=None, single=None)
+        register_problem(kind)
+        try:
+            assert get_problem("test-custom") is kind
+            assert "test-custom" in problem_kinds()
+            assert "test-custom" not in sweep_kinds()
+        finally:
+            from repro.service import registry
+
+            registry._REGISTRY.pop("test-custom", None)
+
+
+class TestRunSpecValidation:
+    """RunSpec construction validates its kind against the registry."""
+
+    def test_unknown_kind_rejected_at_construction(self):
+        from repro.parallel import RunSpec
+
+        with pytest.raises(ValueError, match="unknown problem kind"):
+            RunSpec("no-such-problem", "MR-P", "D2Q9", (16, 16), 2)
+
+    def test_known_kind_accepted(self):
+        from repro.parallel import RunSpec
+
+        spec = RunSpec("cylinder", "ST", "D2Q9", (32, 16), 2)
+        assert spec.kind == "cylinder"
+
+
+class TestBuilders:
+    """Single-domain and distributed builders produce runnable solvers."""
+
+    def test_build_single_every_kind(self):
+        for name, options in [("channel", {"u_max": 0.03}),
+                              ("forced-channel", {"u_max": 0.03}),
+                              ("taylor-green", {"u_max": 0.03}),
+                              ("cylinder", {"u_max": 0.03}),
+                              ("porous", {})]:
+            solver = build_single(name, "MR-P", "D2Q9", (24, 14),
+                                  tau=0.8, **options)
+            solver.run(5)
+            rho, u = solver.macroscopic()
+            assert np.all(np.isfinite(rho)) and np.all(np.isfinite(u))
+
+    def test_build_distributed_every_kind(self):
+        for name, options in [("forced-channel", {"u_max": 0.03}),
+                              ("taylor-green", {"u_max": 0.03}),
+                              ("cylinder", {"u_max": 0.03}),
+                              ("porous", {})]:
+            solver = build_distributed(name, "ST", "D2Q9", (24, 14), 2,
+                                       tau=0.8, **options)
+            solver.run(5)
+            rho, u = solver.gather_macroscopic()
+            assert np.all(np.isfinite(rho)) and np.all(np.isfinite(u))
+
+    def test_taylor_green_needs_2d(self):
+        with pytest.raises(ValueError, match="2D"):
+            build_single("taylor-green", "MR-P", "D3Q19", (8, 8, 8))
+
+    def test_cylinder_masks_solid_nodes(self):
+        solver = build_single("cylinder", "ST", "D2Q9", (48, 24))
+        full = 48 * 24 - 2 * 48          # channel minus the two walls
+        assert solver.domain.n_fluid < full
+
+    def test_distributed_matches_single_domain(self):
+        """The registry's distributed build reproduces the single build."""
+        single = build_single("forced-channel", "MR-P", "D2Q9", (24, 14),
+                              tau=0.8, u_max=0.03)
+        dist = build_distributed("forced-channel", "MR-P", "D2Q9",
+                                 (24, 14), 2, tau=0.8, u_max=0.03)
+        single.run(20)
+        dist.run(20)
+        rho_s, u_s = single.macroscopic()
+        rho_d, u_d = dist.gather_macroscopic()
+        np.testing.assert_allclose(rho_d, rho_s, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(u_d, u_s, rtol=0, atol=1e-12)
